@@ -1,0 +1,114 @@
+// Benchmarks regenerating every table and figure of the RDMC paper (one
+// testing.B per artifact, backed by the runners in internal/bench), plus
+// micro-benchmarks of the library's hot paths. Each paper bench prints its
+// reproduced table once via b.Log at -v; `go run ./cmd/rdmcbench` gives the
+// same output directly.
+package rdmc_test
+
+import (
+	"testing"
+
+	"rdmc/internal/bench"
+	"rdmc/internal/schedule"
+	"rdmc/internal/simnet"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, ok := bench.Experiments()[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		report := runner(bench.Quick)
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + report.String())
+		}
+	}
+}
+
+func BenchmarkTable1Breakdown(b *testing.B)  { benchExperiment(b, "table1") }
+func BenchmarkFig4Latency256MB(b *testing.B) { benchExperiment(b, "fig4a") }
+func BenchmarkFig4Latency8MB(b *testing.B)   { benchExperiment(b, "fig4b") }
+func BenchmarkFig5StepBreakdown(b *testing.B) {
+	benchExperiment(b, "fig5")
+}
+func BenchmarkFig6BlockSize(b *testing.B)    { benchExperiment(b, "fig6") }
+func BenchmarkFig7TinyMessages(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFig8Scalability(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig9Cosmos(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkFig10Fractus(b *testing.B)     { benchExperiment(b, "fig10a") }
+func BenchmarkFig10Apt(b *testing.B)         { benchExperiment(b, "fig10b") }
+func BenchmarkFig11Completion(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12CoreDirect(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkSlackAnalysis(b *testing.B)    { benchExperiment(b, "slack") }
+func BenchmarkSlowLink(b *testing.B)         { benchExperiment(b, "slowlink") }
+func BenchmarkDelayRobustness(b *testing.B)  { benchExperiment(b, "delay") }
+func BenchmarkHybridTopology(b *testing.B)   { benchExperiment(b, "hybrid") }
+func BenchmarkSmallMessages(b *testing.B)    { benchExperiment(b, "smc") }
+func BenchmarkRecvWindowAblation(b *testing.B) {
+	benchExperiment(b, "window")
+}
+
+// --- micro-benchmarks of the library's hot paths ---
+
+// BenchmarkBinomialPlanGeneration measures computing the full block schedule
+// for a 64-node group sending 256 blocks (a 256 MB message at 1 MB blocks).
+func BenchmarkBinomialPlanGeneration(b *testing.B) {
+	gen := schedule.New(schedule.BinomialPipeline)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		plan := gen.Plan(64, 256)
+		if len(plan.Transfers) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}
+
+// BenchmarkGeneralNPlanGeneration measures the circulant generator on a
+// non-power-of-two group.
+func BenchmarkGeneralNPlanGeneration(b *testing.B) {
+	gen := schedule.New(schedule.BinomialPipeline)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		plan := gen.Plan(48, 256)
+		if len(plan.Transfers) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}
+
+// BenchmarkClosedFormSend measures the §4.4 closed-form send rule itself.
+func BenchmarkClosedFormSend(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		schedule.ClosedFormSend(6, 256, i%64, i%261)
+	}
+}
+
+// BenchmarkFluidFabric measures the max-min fair fabric under the binomial
+// pipeline's steady-state load shape: 32 concurrent flows starting and
+// finishing across 64 NIC ports.
+func BenchmarkFluidFabric(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := simnet.NewSim(1)
+		fabric := simnet.NewFabric(sim)
+		ports := make([]*simnet.Resource, 64)
+		for p := range ports {
+			ports[p] = simnet.NewResource("p", 1e9)
+		}
+		for f := 0; f < 32; f++ {
+			fabric.StartFlow(1e6, []*simnet.Resource{ports[2*f], ports[2*f+1]}, func() {})
+		}
+		sim.Run()
+	}
+}
+
+// BenchmarkSimulatedMulticast measures one full simulated 64 MB multicast to
+// 7 receivers — the end-to-end cost of the virtual-time stack.
+func BenchmarkSimulatedMulticast(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bench.MulticastOnceForBench(8, 64<<20, 1<<20)
+	}
+}

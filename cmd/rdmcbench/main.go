@@ -1,0 +1,83 @@
+// Command rdmcbench regenerates the RDMC paper's tables and figures on the
+// simulated fabric.
+//
+// Usage:
+//
+//	rdmcbench -list
+//	rdmcbench -exp fig4a [-full]
+//	rdmcbench -all [-full]
+//
+// Each experiment prints the same rows or series the paper reports, with the
+// paper's qualitative result noted for comparison. -full uses the paper's
+// complete parameter ranges; the default trims sweeps for fast runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rdmc/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rdmcbench", flag.ContinueOnError)
+	var (
+		list = fs.Bool("list", false, "list experiment ids")
+		exp  = fs.String("exp", "", "experiment id to run")
+		all  = fs.Bool("all", false, "run every experiment")
+		full = fs.Bool("full", false, "use the paper's full parameter ranges")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	registry := bench.Experiments()
+	scale := bench.Quick
+	if *full {
+		scale = bench.Full
+	}
+
+	switch {
+	case *list:
+		for _, id := range bench.Order() {
+			fmt.Println(id)
+		}
+		return nil
+
+	case *all:
+		for _, id := range bench.Order() {
+			if err := runOne(registry, id, scale); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *exp != "":
+		return runOne(registry, *exp, scale)
+
+	default:
+		fs.Usage()
+		return fmt.Errorf("rdmcbench: pass -list, -all, or -exp <id>")
+	}
+}
+
+func runOne(registry map[string]bench.Runner, id string, scale bench.Scale) error {
+	runner, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("rdmcbench: unknown experiment %q (try -list)", id)
+	}
+	start := time.Now()
+	report := runner(scale)
+	fmt.Print(report.String())
+	fmt.Printf("(generated in %.1fs wall time)\n\n", time.Since(start).Seconds())
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestParsePeers(t *testing.T) {
+	data, ctrl, err := parsePeers("0=a:1/a:2, 1=b:1/b:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != "a:1" || ctrl[0] != "a:2" || data[1] != "b:1" || ctrl[1] != "b:2" {
+		t.Errorf("parsed = %v %v", data, ctrl)
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"junk",
+		"x=a/b",
+		"0=a",       // missing ctrl addr
+		"1=a:1/a:2", // no sender
+	}
+	for _, spec := range cases {
+		if _, _, err := parsePeers(spec); err == nil {
+			t.Errorf("parsePeers(%q) succeeded", spec)
+		}
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	s := []int{3, 1, 2, 0}
+	sortInts(s)
+	for i, v := range s {
+		if v != i {
+			t.Fatalf("sorted = %v", s)
+		}
+	}
+}
+
+func TestDigestStable(t *testing.T) {
+	if digest([]byte("abc")) != digest([]byte("abc")) {
+		t.Error("digest not deterministic")
+	}
+	if len(digest([]byte("abc"))) != 16 {
+		t.Errorf("digest length = %d", len(digest([]byte("abc"))))
+	}
+}

@@ -1,0 +1,113 @@
+// Command rdmcplan inspects the deterministic block-transfer schedules at
+// the heart of RDMC: the exact data the paper argues could be offloaded to a
+// programmable NIC ("RDMC can precompute data-flow graphs describing the
+// full pattern of data movement at the outset of each multicast send", §2).
+//
+// Usage:
+//
+//	rdmcplan -algo binomial -nodes 8 -blocks 3          # round-by-round table
+//	rdmcplan -algo chain -nodes 5 -blocks 4 -summary    # totals only
+//
+// Algorithms: sequential, chain, tree, binomial, mpi.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rdmc/internal/schedule"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("rdmcplan", flag.ContinueOnError)
+	var (
+		algo    = fs.String("algo", "binomial", "sequential | chain | tree | binomial | mpi")
+		nodes   = fs.Int("nodes", 8, "group size (rank 0 is the sender)")
+		blocks  = fs.Int("blocks", 3, "number of message blocks")
+		summary = fs.Bool("summary", false, "print totals only")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *nodes < 1 || *blocks < 1 {
+		return fmt.Errorf("rdmcplan: need positive -nodes and -blocks")
+	}
+
+	gen, err := generator(*algo)
+	if err != nil {
+		return err
+	}
+	plan := gen.Plan(*nodes, *blocks)
+	if err := plan.Validate(); err != nil {
+		return fmt.Errorf("rdmcplan: generated plan is invalid: %w", err)
+	}
+
+	fmt.Fprintf(out, "%s: %d nodes × %d blocks → %d transfers over %d rounds\n",
+		gen.Name(), *nodes, *blocks, len(plan.Transfers), plan.Rounds())
+
+	if !*summary {
+		byRound := make(map[int][]schedule.Transfer)
+		for _, tr := range plan.Transfers {
+			byRound[tr.Round] = append(byRound[tr.Round], tr)
+		}
+		for round := 0; round < plan.Rounds(); round++ {
+			var cells []string
+			for _, tr := range byRound[round] {
+				cells = append(cells, fmt.Sprintf("%d→%d:b%d", tr.From, tr.To, tr.Block))
+			}
+			fmt.Fprintf(out, "round %3d  %s\n", round, strings.Join(cells, "  "))
+		}
+	}
+
+	// Per-node load: the paper's resource argument in numbers.
+	perNode := plan.PerNode()
+	fmt.Fprintf(out, "\n%-6s  %6s  %6s\n", "rank", "sends", "recvs")
+	for rank, np := range perNode {
+		fmt.Fprintf(out, "%-6d  %6d  %6d\n", rank, len(np.Sends), len(np.Recvs))
+	}
+
+	// Steady-state slack (§4.5), when the plan has relaying.
+	lo, hi := schedule.SteadySteps(*nodes, *blocks)
+	var sum float64
+	var count int
+	for j := lo; j <= hi; j++ {
+		if s, ok := schedule.AvgSlack(plan, j); ok {
+			sum += s
+			count++
+		}
+	}
+	if count > 0 {
+		fmt.Fprintf(out, "\navg steady-state slack: %.2f", sum/float64(count))
+		if *nodes&(*nodes-1) == 0 && *nodes >= 4 {
+			fmt.Fprintf(out, " (paper formula: %.2f)", schedule.PredictedAvgSlack(*nodes))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func generator(name string) (schedule.Generator, error) {
+	switch name {
+	case "sequential":
+		return schedule.New(schedule.Sequential), nil
+	case "chain":
+		return schedule.New(schedule.Chain), nil
+	case "tree":
+		return schedule.New(schedule.BinomialTree), nil
+	case "binomial":
+		return schedule.New(schedule.BinomialPipeline), nil
+	case "mpi":
+		return schedule.New(schedule.MPIScatterAllgather), nil
+	default:
+		return nil, fmt.Errorf("rdmcplan: unknown algorithm %q", name)
+	}
+}

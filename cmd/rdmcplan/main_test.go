@@ -1,0 +1,29 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunSummary(t *testing.T) {
+	for _, algo := range []string{"sequential", "chain", "tree", "binomial", "mpi"} {
+		if err := run([]string{"-algo", algo, "-nodes", "6", "-blocks", "4", "-summary"}, os.Stdout); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunFullTable(t *testing.T) {
+	if err := run([]string{"-algo", "binomial", "-nodes", "8", "-blocks", "3"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-algo", "nope"}, os.Stdout); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-nodes", "0"}, os.Stdout); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Filerepl demonstrates the paper's motivating use case — pushing a large
+// artifact (a VM image, a package, an input file) to a set of compute nodes
+// — including what happens when a receiver crashes mid-transfer and how the
+// application recovers by re-forming the group among survivors (§3 item 6:
+// "the application can then self-repair by closing the old RDMC session and
+// initiating a new one").
+//
+// Run with:
+//
+//	go run ./examples/filerepl
+package main
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"rdmc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const nodes = 6
+	cluster, err := rdmc.NewLocalCluster(nodes)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, n := range cluster {
+			if n != nil {
+				_ = n.Close()
+			}
+		}
+	}()
+
+	// The "file": 32 MB of random bytes.
+	artifact := make([]byte, 32<<20)
+	if _, err := rand.Read(artifact); err != nil {
+		return err
+	}
+
+	// --- Attempt 1: replicate to all five receivers; node 4 will crash. ---
+	fmt.Println("attempt 1: replicating to nodes 1..5 (node 4 will crash mid-transfer)")
+	members := []int{0, 1, 2, 3, 4, 5}
+	received := newReceiptLog(nodes)
+	groups, err := createAll(cluster, 1, members, received)
+	if err != nil {
+		return err
+	}
+	if err := groups[0].Send(artifact); err != nil {
+		return err
+	}
+	// Crash node 4 shortly after the transfer starts.
+	time.Sleep(20 * time.Millisecond)
+	crashed := cluster[4]
+	cluster[4] = nil
+	_ = crashed.Close()
+
+	// The close barrier must fail: not every receiver can confirm.
+	err = groups[0].DestroyWait(15 * time.Second)
+	if err == nil {
+		return fmt.Errorf("close unexpectedly succeeded despite the crash")
+	}
+	fmt.Printf("attempt 1: close failed as expected: %v\n", err)
+
+	// --- Attempt 2: re-form the group among survivors and resend. ---
+	fmt.Println("attempt 2: re-forming the group among survivors and retrying")
+	survivors := []int{0, 1, 2, 3, 5}
+	received2 := newReceiptLog(nodes)
+	groups2 := make([]*rdmc.Group, nodes)
+	for _, id := range survivors {
+		g, err := createOne(cluster[id], 2, survivors, id, received2)
+		if err != nil {
+			return err
+		}
+		groups2[id] = g
+	}
+	if err := groups2[0].Send(artifact); err != nil {
+		return err
+	}
+	received2.wait(len(survivors))
+	if err := groups2[0].DestroyWait(15 * time.Second); err != nil {
+		return fmt.Errorf("attempt 2 close barrier: %w", err)
+	}
+
+	// Verify every survivor holds the exact artifact.
+	for _, id := range survivors[1:] {
+		if !bytes.Equal(received2.data(id), artifact) {
+			return fmt.Errorf("node %d holds a corrupt copy", id)
+		}
+	}
+	fmt.Println("attempt 2: close barrier succeeded — every survivor holds a verified copy")
+	return nil
+}
+
+// receiptLog collects per-node deliveries.
+type receiptLog struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	byID  map[int][]byte
+	count int
+}
+
+func newReceiptLog(nodes int) *receiptLog {
+	r := &receiptLog{byID: make(map[int][]byte, nodes)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// wait blocks until n local completions have been observed.
+func (r *receiptLog) wait(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.count < n {
+		r.cond.Wait()
+	}
+}
+
+func (r *receiptLog) data(id int) []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}
+
+func createAll(cluster []*rdmc.Node, groupID int, members []int, log *receiptLog) ([]*rdmc.Group, error) {
+	groups := make([]*rdmc.Group, len(cluster))
+	for _, id := range members {
+		g, err := createOne(cluster[id], groupID, members, id, log)
+		if err != nil {
+			return nil, err
+		}
+		groups[id] = g
+	}
+	return groups, nil
+}
+
+func createOne(node *rdmc.Node, groupID int, members []int, id int, rl *receiptLog) (*rdmc.Group, error) {
+	return node.CreateGroup(groupID, members, rdmc.GroupConfig{BlockSize: 1 << 20}, rdmc.Callbacks{
+		Incoming: func(size int) []byte { return make([]byte, size) },
+		Completion: func(seq int, data []byte, size int) {
+			rl.mu.Lock()
+			if data != nil {
+				rl.byID[id] = append([]byte(nil), data...)
+			}
+			rl.count++
+			rl.cond.Broadcast()
+			rl.mu.Unlock()
+			fmt.Printf("  node %d: transfer complete (%d bytes)\n", id, size)
+		},
+		Failure: func(err error) {
+			fmt.Printf("  node %d: notified of failure: %v\n", id, err)
+		},
+	})
+}

@@ -1,0 +1,116 @@
+// Stability demonstrates the paper's §4.6 path to stronger guarantees: the
+// way Derecho layers stable (all-or-nothing) delivery over RDMC. Raw RDMC
+// completes messages *locally* — a fast receiver may finish long before a
+// slow one — while the stable wrapper buffers each message and delivers it
+// only once a shared status table (one-sided writes, package sst) shows
+// every member holds it.
+//
+// The example runs both modes over the same simulated 8-node cluster using
+// sequential send — whose local completions spread the most, since the root
+// serves receivers one at a time — and prints, for each member, when the
+// message completed locally versus when it became deliverable, making the
+// stability barrier visible.
+//
+// Run with:
+//
+//	go run ./examples/stability
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"rdmc/internal/core"
+	"rdmc/internal/rdma"
+	"rdmc/internal/schedule"
+	"rdmc/internal/simhost"
+	"rdmc/internal/simnet"
+	"rdmc/internal/stable"
+)
+
+const (
+	nodes   = 8
+	msgSize = 64 << 20
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	grid, err := simhost.New(simhost.Config{
+		Cluster: simnet.ClusterConfig{
+			Nodes:         nodes,
+			LinkBandwidth: 100e9 / 8,
+			Latency:       1.5e-6,
+			CPU:           simnet.DefaultCPUConfig(),
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	members := make([]rdma.NodeID, nodes)
+	for i := range members {
+		members[i] = rdma.NodeID(i)
+	}
+
+	localAt := make([]time.Duration, nodes)  // raw RDMC local completion
+	stableAt := make([]time.Duration, nodes) // stable delivery
+	groups := make([]*stable.Group, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		g, err := stable.New(grid.Engine(i), grid.Network().Provider(members[i]), 1, members,
+			stable.Config{BlockSize: 1 << 20, Generator: schedule.New(schedule.Sequential)},
+			stable.Callbacks{
+				Deliver: func(seq int, _ []byte, _ int) { stableAt[i] = grid.Sim().NowDuration() },
+				Failure: func(err error) { log.Printf("node %d: %v", i, err) },
+			})
+		if err != nil {
+			return err
+		}
+		groups[i] = g
+	}
+	// Observe raw local completions through the stable group's own engine
+	// hook: the wrapper records them before the stability barrier, so we
+	// time them via a parallel plain RDMC group on the same fabric.
+	plain := make([]*core.Group, nodes)
+	for i := 0; i < nodes; i++ {
+		i := i
+		g, err := grid.Engine(i).CreateGroup(2, members, core.GroupConfig{
+			BlockSize: 1 << 20,
+			Generator: schedule.New(schedule.Sequential),
+			Callbacks: core.Callbacks{
+				Completion: func(int, []byte, int) { localAt[i] = grid.Sim().NowDuration() },
+			},
+		})
+		if err != nil {
+			return err
+		}
+		plain[i] = g
+	}
+
+	if err := plain[0].SendSized(msgSize); err != nil {
+		return err
+	}
+	grid.Run()
+	if err := groups[0].SendSized(msgSize); err != nil {
+		return err
+	}
+	grid.Run()
+
+	fmt.Printf("64 MB multicast to %d nodes with sequential send (the paper's\n", nodes-1)
+	fmt.Printf("baseline, whose completions spread the most)\n\n")
+	fmt.Printf("%-6s  %16s  %16s\n", "node", "local complete", "stable deliver")
+	for i := 0; i < nodes; i++ {
+		fmt.Printf("%-6d  %13.2fms  %13.2fms\n", i,
+			localAt[i].Seconds()*1e3, stableAt[i].Seconds()*1e3)
+	}
+	fmt.Println("\nraw RDMC completions spread out (fast nodes finish early); stable")
+	fmt.Println("delivery waits for the straggler, so every node delivers together —")
+	fmt.Println("\"delivery occurs only after every receiver has a copy\" (§4.6)")
+	return nil
+}

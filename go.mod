@@ -1,0 +1,3 @@
+module rdmc
+
+go 1.22

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"rdmc/internal/schedule"
+)
+
+func TestReportFormatting(t *testing.T) {
+	r := Report{
+		ID:      "x",
+		Title:   "a title",
+		Paper:   "the paper said so",
+		Columns: []string{"col", "value"},
+		Rows:    [][]string{{"row1", "1"}, {"longer row", "2"}},
+		Notes:   []string{"a note"},
+	}
+	out := r.String()
+	for _, want := range []string{"=== x: a title ===", "paper: the paper said so", "longer row", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryCoversOrder(t *testing.T) {
+	reg := Experiments()
+	for _, id := range Order() {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("ordered experiment %q missing from registry", id)
+		}
+	}
+	if len(reg) != len(Order()) {
+		t.Errorf("registry has %d entries, order lists %d", len(reg), len(Order()))
+	}
+}
+
+func TestClusterModels(t *testing.T) {
+	for _, tt := range []struct {
+		name   string
+		cfg    func(int) float64
+		wantBW float64
+	}{
+		{"fractus", func(n int) float64 { return Fractus(n).LinkBandwidth }, 100e9 / 8},
+		{"sierra", func(n int) float64 { return Sierra(n).LinkBandwidth }, 40e9 / 8},
+		{"stampede", func(n int) float64 { return Stampede(n).LinkBandwidth }, 40e9 / 8},
+		{"apt", func(n int) float64 { return Apt(n).LinkBandwidth }, 40e9 / 8},
+	} {
+		if got := tt.cfg(4); got != tt.wantBW {
+			t.Errorf("%s bandwidth = %g, want %g", tt.name, got, tt.wantBW)
+		}
+	}
+	apt := Apt(16)
+	if apt.RackSize != AptRackSize || apt.TrunkBandwidth != AptRackSize*16e9/8 {
+		t.Errorf("apt topology = rack %d trunk %g", apt.RackSize, apt.TrunkBandwidth)
+	}
+	if err := Apt(16).Validate(); err != nil {
+		t.Errorf("apt config invalid: %v", err)
+	}
+}
+
+func TestMulticastOnceMatchesPhysics(t *testing.T) {
+	// 64 MB to one receiver at 100 Gb/s must take ≈ size/bandwidth.
+	elapsed := multicastOnce(Fractus(2), schedule.New(schedule.BinomialPipeline), 64*mib, mib)
+	ideal := float64(64*mib) / (100e9 / 8)
+	if ratio := elapsed / ideal; ratio < 1.0 || ratio > 1.2 {
+		t.Errorf("elapsed/ideal = %.2f, want ≈1", ratio)
+	}
+}
+
+func TestOverlapRunAggregates(t *testing.T) {
+	// One sender, 4 nodes, two 8 MB messages: the aggregate must be near
+	// the single-flow bandwidth on Fractus.
+	bw := overlapRun(Fractus(4), 4, 1, 8*mib, 2)
+	if bw < 60 || bw > 100 {
+		t.Errorf("aggregate bandwidth = %.1f Gb/s, want 60–100", bw)
+	}
+}
+
+func TestBreakdownOf(t *testing.T) {
+	stats, _ := multicastStats(Stampede(4), schedule.New(schedule.BinomialPipeline), 16*mib, mib)
+	far := stats[3]
+	b := breakdownOf(far, float64(mib)/Stampede(4).LinkBandwidth)
+	if b.total <= 0 || b.transfers <= 0 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if b.transfers > b.total {
+		t.Errorf("transfers %v exceed total %v", b.transfers, b.total)
+	}
+	if b.copySecs <= 0 {
+		t.Error("copy time missing")
+	}
+}
+
+// TestFastExperimentsProduceRows runs the cheap experiments end to end and
+// checks their report structure; the heavyweight ones run under
+// `go test -bench` and the rdmcbench CLI instead.
+func TestFastExperimentsProduceRows(t *testing.T) {
+	for _, id := range []string{"table1", "fig5", "slack", "slowlink", "delay", "hybrid"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep := Experiments()[id](Quick)
+			if rep.ID != id {
+				t.Errorf("report id = %q", rep.ID)
+			}
+			if len(rep.Rows) == 0 || len(rep.Columns) == 0 {
+				t.Fatalf("experiment %s produced no data", id)
+			}
+			for _, row := range rep.Rows {
+				if len(row) != len(rep.Columns) {
+					t.Errorf("%s: row %v does not match columns %v", id, row, rep.Columns)
+				}
+			}
+		})
+	}
+}
+
+func TestGbpsAndFormatHelpers(t *testing.T) {
+	if got := gbps(125e6, 1); got != 1.0 {
+		t.Errorf("gbps(125e6, 1) = %v, want 1", got)
+	}
+	if got := gbps(1, 0); got != 0 {
+		t.Errorf("gbps with zero time = %v", got)
+	}
+	if got := ms(0.0015); got != "1.50" {
+		t.Errorf("ms = %q", got)
+	}
+	if got := us(1e-6); got != "1" {
+		t.Errorf("us = %q", got)
+	}
+	if got := sizeLabel(mib); got != "1MB" {
+		t.Errorf("sizeLabel(1MiB) = %q", got)
+	}
+	if got := sizeLabel(10 * kib); got != "10KB" {
+		t.Errorf("sizeLabel(10KiB) = %q", got)
+	}
+	if got := sizeLabel(128); got != "128B" {
+		t.Errorf("sizeLabel(128) = %q", got)
+	}
+}
+
+func TestGroupSizes(t *testing.T) {
+	if got := len(groupSizes(Full)); got != 14 {
+		t.Errorf("full sweep has %d sizes, want 14 (3..16)", got)
+	}
+	if got := len(groupSizes(Quick)); got >= 14 {
+		t.Errorf("quick sweep has %d sizes, want a trimmed set", got)
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"rdmc/internal/schedule"
+)
+
+// fig4Algorithms are the algorithms Figure 4 compares, in its legend order.
+func fig4Algorithms() []schedule.Algorithm {
+	return []schedule.Algorithm{
+		schedule.Sequential,
+		schedule.BinomialTree,
+		schedule.Chain,
+		schedule.BinomialPipeline,
+		schedule.MPIScatterAllgather,
+	}
+}
+
+// Fig4aLatency256MB reproduces Figure 4a: latency of each algorithm sending
+// one 256 MB message (1 MB blocks) on the Fractus model, versus group size.
+func Fig4aLatency256MB(scale Scale) Report {
+	return fig4(scale, "fig4a", 256*mib, "256 MB")
+}
+
+// Fig4bLatency8MB reproduces Figure 4b: the same sweep with 8 MB messages,
+// where fewer blocks mean less pipelining headroom.
+func Fig4bLatency8MB(scale Scale) Report {
+	return fig4(scale, "fig4b", 8*mib, "8 MB")
+}
+
+func fig4(scale Scale, id string, size int, label string) Report {
+	algos := fig4Algorithms()
+	r := Report{
+		ID:    id,
+		Title: fmt.Sprintf("Latency of %s multicasts on Fractus (ms)", label),
+		Paper: "sequential send and binomial tree grow with group size; chain " +
+			"send tracks binomial pipeline (binomial pulls ahead for small " +
+			"transfers to many nodes); MVAPICH falls in between at 1.03–3×" +
+			" binomial pipeline",
+		Columns: []string{"group size"},
+	}
+	for _, a := range algos {
+		r.Columns = append(r.Columns, a.String())
+	}
+
+	var (
+		worstMPIRatio float64
+		binGrowth     []float64
+		seqGrowth     []float64
+	)
+	for _, n := range groupSizes(scale) {
+		row := []string{fmt.Sprintf("%d", n)}
+		results := make(map[schedule.Algorithm]float64, len(algos))
+		for _, a := range algos {
+			elapsed := multicastOnce(Fractus(n), schedule.New(a), size, mib)
+			results[a] = elapsed
+			row = append(row, ms(elapsed))
+		}
+		r.Rows = append(r.Rows, row)
+		if ratio := results[schedule.MPIScatterAllgather] / results[schedule.BinomialPipeline]; ratio > worstMPIRatio {
+			worstMPIRatio = ratio
+		}
+		binGrowth = append(binGrowth, results[schedule.BinomialPipeline])
+		seqGrowth = append(seqGrowth, results[schedule.Sequential])
+	}
+
+	first, last := 0, len(binGrowth)-1
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("sequential grows %.1f× from smallest to largest group; binomial pipeline %.2f×",
+			seqGrowth[last]/seqGrowth[first], binGrowth[last]/binGrowth[first]),
+		fmt.Sprintf("worst mpi/binomial ratio across sweep: %.2f× (paper: 1.03–3×)", worstMPIRatio),
+	)
+	return r
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"rdmc/internal/simnet"
+)
+
+// Cluster models of the paper's four testbeds (§5.1). Bandwidths are the
+// effective unicast rates the paper reports rather than nominal link
+// signalling rates.
+
+// Fractus models the 16-node Cornell cluster: 100 Gb/s Mellanox fabric with
+// one-hop paths (full bisection bandwidth).
+func Fractus(nodes int) simnet.ClusterConfig {
+	return simnet.ClusterConfig{
+		Nodes:         nodes,
+		LinkBandwidth: 100e9 / 8,
+		Latency:       1.5e-6,
+		CPU:           simnet.DefaultCPUConfig(),
+	}
+}
+
+// Sierra models the LLNL batch cluster: 4x QDR fabric at 40 Gb/s per NIC on
+// a federated fat-tree (modelled as full bisection, which the fat-tree
+// approximates).
+func Sierra(nodes int) simnet.ClusterConfig {
+	return simnet.ClusterConfig{
+		Nodes:         nodes,
+		LinkBandwidth: 40e9 / 8,
+		Latency:       2.0e-6,
+		CPU:           simnet.DefaultCPUConfig(),
+	}
+}
+
+// Stampede models the U. Texas cluster: FDR NICs on which the paper
+// "measured unicast speeds of up to 40 Gb/s".
+func Stampede(nodes int) simnet.ClusterConfig {
+	return simnet.ClusterConfig{
+		Nodes:         nodes,
+		LinkBandwidth: 40e9 / 8,
+		Latency:       2.0e-6,
+		CPU:           simnet.DefaultCPUConfig(),
+	}
+}
+
+// AptRackSize is the rack granularity used by the Apt model.
+const AptRackSize = 8
+
+// Apt models the EmuLab cluster: FDR NICs (≈40 Gb/s effective) behind a
+// "significantly oversubscribed TOR network that degrades to about 16 Gb/s
+// per link when heavily loaded" — racks of AptRackSize share a trunk sized
+// so that a fully loaded rack gets 16 Gb/s per node.
+func Apt(nodes int) simnet.ClusterConfig {
+	return simnet.ClusterConfig{
+		Nodes:          nodes,
+		LinkBandwidth:  40e9 / 8,
+		Latency:        2.0e-6,
+		CPU:            simnet.DefaultCPUConfig(),
+		RackSize:       AptRackSize,
+		TrunkBandwidth: AptRackSize * 16e9 / 8,
+	}
+}

@@ -1,0 +1,119 @@
+// Package bench reproduces every table and figure in the RDMC paper's
+// evaluation (§5) plus the §4.5 analysis claims, on the simulated fabric.
+// Each experiment is a named runner that returns a Report: the same rows or
+// series the paper presents, with the paper's qualitative result recorded
+// alongside so EXPERIMENTS.md can compare shape against shape.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one reproduced table or figure.
+type Report struct {
+	// ID is the experiment identifier (for example "fig4a").
+	ID string
+	// Title names the paper artifact.
+	Title string
+	// Paper summarizes what the paper's version shows, for comparison.
+	Paper string
+	// Columns and Rows hold the regenerated data.
+	Columns []string
+	Rows    [][]string
+	// Notes carry derived observations (speedups, crossovers, checks).
+	Notes []string
+}
+
+// String renders the report as an aligned text table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.Paper)
+	}
+
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Scale selects how much work an experiment does.
+type Scale int
+
+// Experiment scales.
+const (
+	// Quick trims repetitions and sweep points for test and bench runs.
+	Quick Scale = iota + 1
+	// Full reproduces the paper's parameter ranges.
+	Full
+)
+
+// Runner produces a report at a given scale.
+type Runner func(scale Scale) Report
+
+// Experiments returns the registry of experiment runners keyed by ID, in
+// presentation order (use Order for iteration).
+func Experiments() map[string]Runner {
+	return map[string]Runner{
+		"table1":   Table1Breakdown,
+		"fig4a":    Fig4aLatency256MB,
+		"fig4b":    Fig4bLatency8MB,
+		"fig5":     Fig5StepBreakdown,
+		"fig6":     Fig6BlockSize,
+		"fig7":     Fig7TinyMessages,
+		"fig8":     Fig8Scalability,
+		"fig9":     Fig9Cosmos,
+		"fig10a":   Fig10aFractusOverlap,
+		"fig10b":   Fig10bAptOverlap,
+		"fig11":    Fig11CompletionModes,
+		"fig12":    Fig12CoreDirect,
+		"slack":    SlackAnalysis,
+		"slowlink": SlowLink,
+		"delay":    DelayRobustness,
+		"hybrid":   HybridTopology,
+		"smc":      SmallMessages,
+		"window":   RecvWindowAblation,
+	}
+}
+
+// Order lists experiment IDs in the paper's presentation order.
+func Order() []string {
+	return []string{
+		"fig4a", "fig4b", "table1", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10a", "fig10b", "fig11", "fig12",
+		"slack", "slowlink", "delay", "hybrid", "smc", "window",
+	}
+}

@@ -1,0 +1,224 @@
+// Package core implements the RDMC protocol engine (DSN 2018, §3–4): it
+// executes the deterministic block-transfer plans of package schedule over
+// the verbs abstraction of package rdma, asynchronously, with the paper's
+// gating rules:
+//
+//   - a transfer begins only after every receiver has signalled readiness to
+//     the root (§2: "it does a one-sided write to tell the sender, which
+//     starts sending only after all are prepared");
+//   - each individual block send waits for a ready-for-block notice from its
+//     target, so no block is ever sent prematurely and connections never
+//     break from slow receivers (§4.2);
+//   - sends and receives are decoupled: a node's next send is pending only
+//     on the availability of its block, the target's readiness, and FIFO
+//     order of the node's own sends (§4.3).
+//
+// The engine is a completion-driven state machine, exactly as the real RDMC
+// is written against verbs: the simulated provider invokes it in virtual
+// time on one thread, the TCP provider from a dispatcher goroutine, and the
+// protocol code is identical in both.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rdmc/internal/rdma"
+)
+
+// GroupID identifies an RDMC group; all members use the same number, as in
+// the paper's create_group(group_number, ...) API. It must fit in 32 bits.
+type GroupID uint32
+
+// CtrlKind enumerates the out-of-band control messages RDMC exchanges over
+// its bootstrap mesh.
+type CtrlKind int
+
+// Control message kinds.
+const (
+	// CtrlPrepare announces a new transfer (sequence and total size) from
+	// the root to every member. It plays the role of the paper's
+	// size-announcing immediate on the first block, generalized so that
+	// receivers can compute the block plan before any data moves.
+	CtrlPrepare CtrlKind = iota + 1
+	// CtrlReceiverReady tells the root a member has posted all buffers
+	// for a sequence — the paper's pre-transfer one-sided write.
+	CtrlReceiverReady
+	// CtrlReadyBlock tells a specific sender that the target has posted
+	// the receive for one scheduled block transfer.
+	CtrlReadyBlock
+	// CtrlFailure relays a detected failure to all survivors.
+	CtrlFailure
+	// CtrlClose starts the close barrier: the root announces how many
+	// messages the group carried.
+	CtrlClose
+	// CtrlCloseAck acknowledges the barrier once a member has delivered
+	// every message (OK) or knows it cannot (not OK).
+	CtrlCloseAck
+	// CtrlDestroyed finalizes a successful close: members tear down.
+	CtrlDestroyed
+)
+
+// CtrlMsg is one control-plane message. Fields beyond Kind and Group are
+// kind-specific.
+type CtrlMsg struct {
+	Kind  CtrlKind
+	Group GroupID
+	Seq   int
+	Size  int64
+	Round int
+	Block int
+	Node  rdma.NodeID
+	Total int
+	OK    bool
+}
+
+// Control is the out-of-band channel the engine uses for smalls: the
+// bootstrap TCP mesh in the real system, a latency-only message in the
+// simulator. Delivery must preserve per-sender order; lost messages are
+// acceptable only for destinations that have failed.
+type Control interface {
+	// Send transmits m to the peer asynchronously.
+	Send(to rdma.NodeID, m CtrlMsg) error
+	// SetHandler installs the receive callback; it must be installed
+	// before any engine activity and is invoked serially per sender.
+	SetHandler(fn func(from rdma.NodeID, m CtrlMsg))
+}
+
+// Host provides the platform services that differ between virtual and real
+// time: clocks for statistics and the cost model for critical-path memory
+// copies (the paper's Table 1 "Copy Time" row).
+type Host interface {
+	// Now returns the current time (virtual or wall).
+	Now() time.Duration
+	// ChargeCopy accounts for copying n bytes on the critical path and
+	// then runs fn. The simulated host schedules fn after n divided by
+	// the modelled memory bandwidth; the real host runs fn immediately
+	// (the caller has already spent the real time).
+	ChargeCopy(n int, fn func())
+}
+
+// Engine is one node's RDMC instance: it owns the node's provider, control
+// channel, and groups, mirroring the paper's per-process library state
+// (single completion queue and thread shared by all sessions).
+type Engine struct {
+	provider rdma.Provider
+	ctrl     Control
+	host     Host
+
+	mu     sync.Mutex
+	groups map[GroupID]*Group
+	closed bool
+}
+
+// NewEngine wires an engine to its node-local services and installs the
+// completion and control handlers.
+func NewEngine(provider rdma.Provider, ctrl Control, host Host) *Engine {
+	e := &Engine{
+		provider: provider,
+		ctrl:     ctrl,
+		host:     host,
+		groups:   make(map[GroupID]*Group),
+	}
+	provider.SetHandler(e.onCompletion)
+	ctrl.SetHandler(e.onCtrl)
+	return e
+}
+
+// NodeID returns the engine's node identity.
+func (e *Engine) NodeID() rdma.NodeID { return e.provider.NodeID() }
+
+// Errors returned by the engine.
+var (
+	// ErrGroupExists is returned by CreateGroup for a duplicate group id.
+	ErrGroupExists = errors.New("core: group already exists")
+	// ErrNotMember is returned when the local node is not in the member
+	// list.
+	ErrNotMember = errors.New("core: local node is not a group member")
+	// ErrNotRoot is returned by Send on a non-root member, matching the
+	// paper's "will fail if not the root".
+	ErrNotRoot = errors.New("core: only the root may send")
+	// ErrGroupClosed is returned by operations on a destroyed group.
+	ErrGroupClosed = errors.New("core: group destroyed")
+	// ErrMessageTooLarge is returned for messages whose size does not fit
+	// the 32-bit immediate that announces it.
+	ErrMessageTooLarge = errors.New("core: message exceeds 4 GiB immediate limit")
+	// ErrEngineClosed is returned by operations on a closed engine.
+	ErrEngineClosed = errors.New("core: engine closed")
+)
+
+// FailureError reports a group failure and the first node it was attributed
+// to.
+type FailureError struct {
+	Group GroupID
+	Node  rdma.NodeID
+}
+
+func (e *FailureError) Error() string {
+	return fmt.Sprintf("core: group %d failed (node %d unreachable)", e.Group, e.Node)
+}
+
+// Close tears the engine down. Local groups are released quietly — closing
+// one's own node is shutdown, not a failure; peers detect the departure
+// through their own transports.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	for _, g := range e.groups {
+		g.teardownLocked()
+	}
+	e.mu.Unlock()
+	return e.provider.Close()
+}
+
+// NotifyFailure injects an externally detected node failure (for example
+// from the bootstrap mesh noticing a broken TCP connection); every group
+// containing the node fails and relays the notice.
+func (e *Engine) NotifyFailure(node rdma.NodeID) {
+	e.mu.Lock()
+	var cbs []func()
+	for _, g := range e.groups {
+		if g.rankOf(node) >= 0 {
+			cbs = append(cbs, g.failLocked(node, true)...)
+		}
+	}
+	e.mu.Unlock()
+	runAll(cbs)
+}
+
+// onCompletion is the engine's single completion handler (the paper's shared
+// completion thread).
+func (e *Engine) onCompletion(c rdma.Completion) {
+	e.mu.Lock()
+	g := e.groups[GroupID(c.Token>>32)]
+	var cbs []func()
+	if g != nil {
+		cbs = g.onCompletionLocked(c)
+	}
+	e.mu.Unlock()
+	runAll(cbs)
+}
+
+// onCtrl dispatches control-plane messages.
+func (e *Engine) onCtrl(from rdma.NodeID, m CtrlMsg) {
+	e.mu.Lock()
+	g := e.groups[m.Group]
+	var cbs []func()
+	if g != nil {
+		cbs = g.onCtrlLocked(from, m)
+	}
+	e.mu.Unlock()
+	runAll(cbs)
+}
+
+func runAll(cbs []func()) {
+	for _, cb := range cbs {
+		cb()
+	}
+}

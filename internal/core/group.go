@@ -1,0 +1,492 @@
+package core
+
+import (
+	"fmt"
+
+	"rdmc/internal/rdma"
+	"rdmc/internal/schedule"
+)
+
+// Callbacks notify the application of group events, mirroring the paper's
+// Figure 1 interface. All callbacks run on the engine's dispatch context and
+// may call back into the group (for example Send from Completion).
+type Callbacks struct {
+	// Incoming is invoked on receivers when a new transfer is announced
+	// and must return a buffer of at least size bytes for the message, or
+	// nil to run the transfer metadata-only (simulation workloads). It
+	// corresponds to the paper's incoming_message_callback.
+	Incoming func(size int) []byte
+	// Completion is invoked when a message send/receive is locally
+	// complete and the associated memory may be reused. data is nil for
+	// metadata-only transfers.
+	Completion func(seq int, data []byte, size int)
+	// Failure is invoked at most once, when the group fails.
+	Failure func(err error)
+}
+
+// GroupConfig carries the per-group parameters that the paper treats as
+// configuration (block size, algorithm) plus the event callbacks.
+type GroupConfig struct {
+	// BlockSize is the block granularity in bytes for large messages.
+	BlockSize int
+	// Generator chooses the multicast algorithm; nil selects the binomial
+	// pipeline, the paper's default.
+	Generator schedule.Generator
+	// RecvWindow is how many receives a member keeps posted ahead of its
+	// arrivals. The paper's receivers "post only a few receives per
+	// group" and post more as needed (§4.2): the window is what paces
+	// senders (through ready-for-block notices). A window of 1 keeps the
+	// pipeline in lockstep — concurrently arriving blocks never contend
+	// for one receiver's NIC — at the cost of a small per-block
+	// control-message bubble; larger windows hide that bubble but let
+	// rounds overlap and steal receive bandwidth from each other (the
+	// recv-window ablation benchmark quantifies the trade). Zero selects
+	// the default of 1.
+	RecvWindow int
+	// Callbacks notify the application.
+	Callbacks Callbacks
+	// RecordStats enables per-message timing capture (Table 1, Figure 5).
+	RecordStats bool
+}
+
+// Group is one RDMC multicast session: a static member list whose first
+// entry is the only permitted sender.
+type Group struct {
+	engine  *Engine
+	id      GroupID
+	members []rdma.NodeID
+	rank    int
+	cfg     GroupConfig
+
+	qps map[int]rdma.QueuePair // rank → queue pair
+
+	// readyBlocks buffers per-block readiness notices from receivers,
+	// keyed by sequence so a fast receiver can announce readiness for a
+	// sequence this node has not started yet.
+	readyBlocks map[blockReadyKey]bool
+	planCache   map[int]schedule.NodePlan
+
+	state     groupState
+	failure   error
+	failedVia map[rdma.NodeID]bool // failures already relayed
+
+	seq       int // next sequence to assign (root) / highest seen + 1
+	delivered int // messages locally complete
+	current   *transfer
+	pending   []pendingMsg // root: queued sends; member: queued prepares
+
+	lastStats *TransferStats
+
+	// close barrier state (root)
+	closeTotal int
+	closeAcks  map[int]bool
+	closeCb    func(error)
+	// close barrier state (member)
+	memberCloseRecv  bool
+	memberCloseTotal int
+	memberCloseSent  bool
+}
+
+type groupState int
+
+const (
+	stateActive groupState = iota + 1
+	stateFailed
+	stateClosed
+)
+
+type pendingMsg struct {
+	seq  int
+	size int64
+	buf  rdma.Buffer // root side only
+}
+
+// CreateGroup creates the local endpoint of a group. Every member must call
+// it with an identical member list (members[0] is the root), as the paper's
+// create_group is "called concurrently (with identical membership
+// information) by all group members".
+func (e *Engine) CreateGroup(id GroupID, members []rdma.NodeID, cfg GroupConfig) (*Group, error) {
+	if cfg.BlockSize <= 0 {
+		return nil, fmt.Errorf("core: block size must be positive, got %d", cfg.BlockSize)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("core: group needs at least one member")
+	}
+	if cfg.Generator == nil {
+		cfg.Generator = schedule.New(schedule.BinomialPipeline)
+	}
+	if cfg.RecvWindow <= 0 {
+		cfg.RecvWindow = 1
+	}
+	g := &Group{
+		engine:      e,
+		id:          id,
+		members:     append([]rdma.NodeID(nil), members...),
+		rank:        -1,
+		cfg:         cfg,
+		qps:         make(map[int]rdma.QueuePair),
+		readyBlocks: make(map[blockReadyKey]bool),
+		state:       stateActive,
+		failedVia:   make(map[rdma.NodeID]bool),
+		closeAcks:   make(map[int]bool),
+	}
+	for i, m := range members {
+		if m == e.NodeID() {
+			g.rank = i
+			break
+		}
+	}
+	if g.rank < 0 {
+		return nil, ErrNotMember
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrEngineClosed
+	}
+	if _, ok := e.groups[id]; ok {
+		return nil, ErrGroupExists
+	}
+	e.groups[id] = g
+	return g, nil
+}
+
+// Rank returns the local member's rank; rank 0 is the root.
+func (g *Group) Rank() int { return g.rank }
+
+// Members returns a copy of the member list.
+func (g *Group) Members() []rdma.NodeID {
+	return append([]rdma.NodeID(nil), g.members...)
+}
+
+// Err returns the group's failure, if any.
+func (g *Group) Err() error {
+	g.engine.mu.Lock()
+	defer g.engine.mu.Unlock()
+	return g.failure
+}
+
+// Delivered returns the number of locally completed messages.
+func (g *Group) Delivered() int {
+	g.engine.mu.Lock()
+	defer g.engine.mu.Unlock()
+	return g.delivered
+}
+
+// LastStats returns the timing record of the most recently completed
+// message, when RecordStats is enabled.
+func (g *Group) LastStats() *TransferStats {
+	g.engine.mu.Lock()
+	defer g.engine.mu.Unlock()
+	return g.lastStats
+}
+
+// Send multicasts a message to the group. Only the root may call it. The
+// data buffer must stay untouched until the Completion callback fires for
+// the message's sequence number. A metadata-only message may be sent with
+// SendSized instead.
+func (g *Group) Send(data []byte) error {
+	return g.send(rdma.MakeBuffer(data))
+}
+
+// SendSized multicasts a metadata-only message of the given size: block
+// transfers move through the full protocol and transport but carry no user
+// bytes. Simulation workloads use it to replicate hundreds of megabytes
+// without allocating them.
+func (g *Group) SendSized(size int) error {
+	return g.send(rdma.SizeBuffer(size))
+}
+
+func (g *Group) send(buf rdma.Buffer) error {
+	if buf.Len <= 0 {
+		return fmt.Errorf("core: message must have at least one byte, got %d", buf.Len)
+	}
+	if int64(buf.Len) > int64(^uint32(0)) {
+		return ErrMessageTooLarge
+	}
+	e := g.engine
+	e.mu.Lock()
+	if g.rank != 0 {
+		e.mu.Unlock()
+		return ErrNotRoot
+	}
+	var cbs []func()
+	var err error
+	switch g.state {
+	case stateFailed:
+		err = g.failure
+	case stateClosed:
+		err = ErrGroupClosed
+	default:
+		seq := g.seq
+		g.seq++
+		g.pending = append(g.pending, pendingMsg{seq: seq, size: int64(buf.Len), buf: buf})
+		cbs = g.maybeStartNextLocked()
+	}
+	e.mu.Unlock()
+	runAll(cbs)
+	return err
+}
+
+// Destroy tears the group down. On the root it runs the paper's close
+// barrier: done receives nil only if every message reached every member, so
+// "if the group close operation is successful, the sender (and all
+// receivers) can be confident that every RDMC message reached every
+// destination" (§4.6). On non-root members it releases local resources
+// immediately.
+func (g *Group) Destroy(done func(err error)) {
+	if done == nil {
+		done = func(error) {}
+	}
+	e := g.engine
+	e.mu.Lock()
+	var cbs []func()
+	switch {
+	case g.state == stateClosed:
+		cbs = append(cbs, func() { done(ErrGroupClosed) })
+	case g.state == stateFailed:
+		err := g.failure
+		g.teardownLocked()
+		cbs = append(cbs, func() { done(err) })
+	case g.rank != 0:
+		g.teardownLocked()
+		cbs = append(cbs, func() { done(nil) })
+	default:
+		g.closeTotal = g.seq
+		g.closeCb = done
+		if len(g.members) == 1 {
+			g.teardownLocked()
+			cbs = append(cbs, func() { done(nil) })
+			break
+		}
+		for rank := 1; rank < len(g.members); rank++ {
+			g.ctrlTo(rank, CtrlMsg{Kind: CtrlClose, Group: g.id, Total: g.closeTotal})
+		}
+	}
+	e.mu.Unlock()
+	runAll(cbs)
+}
+
+// teardownLocked releases the group's transport resources and removes it
+// from the engine.
+func (g *Group) teardownLocked() {
+	g.state = stateClosed
+	for _, qp := range g.qps {
+		_ = qp.Close()
+	}
+	delete(g.engine.groups, g.id)
+}
+
+// rankOf returns the rank of a node, or -1.
+func (g *Group) rankOf(node rdma.NodeID) int {
+	for i, m := range g.members {
+		if m == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// qpTo returns (creating on demand) the queue pair to a rank. Queue pairs
+// are cached for the group's lifetime, so repeated transfers reuse the
+// overlay as the paper recommends.
+func (g *Group) qpTo(rank int) (rdma.QueuePair, error) {
+	if qp, ok := g.qps[rank]; ok {
+		return qp, nil
+	}
+	lo, hi := g.rank, rank
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	token := uint64(g.id)<<32 | uint64(lo)<<16 | uint64(hi)
+	qp, err := g.engine.provider.Connect(g.members[rank], token)
+	if err != nil {
+		return nil, fmt.Errorf("core: connect group %d rank %d: %w", g.id, rank, err)
+	}
+	g.qps[rank] = qp
+	return qp, nil
+}
+
+// ctrlTo sends a control message to a rank, ignoring transport errors (a
+// destination that died will be reported through failure detection).
+func (g *Group) ctrlTo(rank int, m CtrlMsg) {
+	_ = g.engine.ctrl.Send(g.members[rank], m)
+}
+
+// failLocked transitions the group to the failed state, attributing the
+// failure to node, and (once per suspected node) relays the notice to every
+// member so that "all survivors eventually learn of the event" (§3).
+func (g *Group) failLocked(node rdma.NodeID, relay bool) []func() {
+	if g.state == stateClosed {
+		return nil
+	}
+	var cbs []func()
+	if relay && !g.failedVia[node] {
+		g.failedVia[node] = true
+		for rank := range g.members {
+			if rank != g.rank {
+				g.ctrlTo(rank, CtrlMsg{Kind: CtrlFailure, Group: g.id, Node: node})
+			}
+		}
+	}
+	if g.state == stateFailed {
+		return nil
+	}
+	g.state = stateFailed
+	g.failure = &FailureError{Group: g.id, Node: node}
+	g.current = nil
+	g.pending = nil
+	if fn := g.cfg.Callbacks.Failure; fn != nil {
+		err := g.failure
+		cbs = append(cbs, func() { fn(err) })
+	}
+	// A failed group can never satisfy the close barrier.
+	if g.closeCb != nil {
+		cb, err := g.closeCb, g.failure
+		g.closeCb = nil
+		cbs = append(cbs, func() { cb(err) })
+	}
+	if g.memberCloseRecv && !g.memberCloseSent {
+		g.memberCloseSent = true
+		g.ctrlTo(0, CtrlMsg{Kind: CtrlCloseAck, Group: g.id, Node: g.engine.NodeID()})
+	}
+	return cbs
+}
+
+// onCtrlLocked handles one control message for this group.
+func (g *Group) onCtrlLocked(from rdma.NodeID, m CtrlMsg) []func() {
+	switch m.Kind {
+	case CtrlPrepare:
+		if g.state != stateActive || g.rank == 0 {
+			return nil
+		}
+		g.pending = append(g.pending, pendingMsg{seq: m.Seq, size: m.Size})
+		return g.maybeStartNextLocked()
+
+	case CtrlReceiverReady:
+		if g.current == nil || g.current.seq != m.Seq || g.rank != 0 {
+			return nil
+		}
+		return g.current.receiverReadyLocked(g.rankOf(from))
+
+	case CtrlReadyBlock:
+		if g.state != stateActive {
+			return nil
+		}
+		fromRank := g.rankOf(from)
+		if fromRank < 0 {
+			return nil
+		}
+		// Buffer the notice: it may concern a sequence this node has not
+		// started yet (a receiver that finished the previous message and
+		// prepared the next while this relayer is still draining).
+		g.readyBlocks[blockReadyKey{seq: m.Seq, to: fromRank, round: m.Round, block: m.Block}] = true
+		if g.current != nil && g.current.seq == m.Seq {
+			return g.current.pumpSendsLocked()
+		}
+		return nil
+
+	case CtrlFailure:
+		return g.failLocked(m.Node, true)
+
+	case CtrlClose:
+		if g.rank == 0 {
+			return nil
+		}
+		g.memberCloseRecv = true
+		g.memberCloseTotal = m.Total
+		return g.maybeAckCloseLocked()
+
+	case CtrlCloseAck:
+		if g.rank != 0 || g.closeCb == nil {
+			return nil
+		}
+		if !m.OK {
+			return g.failLocked(m.Node, true)
+		}
+		g.closeAcks[g.rankOf(from)] = true
+		if len(g.closeAcks) == len(g.members)-1 {
+			cb := g.closeCb
+			g.closeCb = nil
+			for rank := 1; rank < len(g.members); rank++ {
+				g.ctrlTo(rank, CtrlMsg{Kind: CtrlDestroyed, Group: g.id})
+			}
+			g.teardownLocked()
+			return []func(){func() { cb(nil) }}
+		}
+		return nil
+
+	case CtrlDestroyed:
+		if g.state != stateClosed {
+			g.teardownLocked()
+		}
+		return nil
+
+	default:
+		return nil
+	}
+}
+
+// maybeAckCloseLocked answers the close barrier once every announced message
+// has been delivered locally.
+func (g *Group) maybeAckCloseLocked() []func() {
+	if !g.memberCloseRecv || g.memberCloseSent {
+		return nil
+	}
+	if g.state == stateFailed {
+		g.memberCloseSent = true
+		g.ctrlTo(0, CtrlMsg{Kind: CtrlCloseAck, Group: g.id, Node: g.engine.NodeID()})
+		return nil
+	}
+	if g.delivered >= g.memberCloseTotal {
+		g.memberCloseSent = true
+		g.ctrlTo(0, CtrlMsg{Kind: CtrlCloseAck, Group: g.id, OK: true, Node: g.engine.NodeID()})
+	}
+	return nil
+}
+
+// maybeStartNextLocked begins the next queued transfer when the group is
+// idle: on the root that means flooding CtrlPrepare; on members, posting
+// buffers and signalling readiness. RDMC does not pipeline messages (§5.1),
+// so at most one transfer is active per group at a time.
+func (g *Group) maybeStartNextLocked() []func() {
+	if g.state != stateActive || g.current != nil || len(g.pending) == 0 {
+		return nil
+	}
+	next := g.pending[0]
+	g.pending = g.pending[1:]
+	if g.rank != 0 && next.seq >= g.seq {
+		g.seq = next.seq + 1
+	}
+	tr := newTransfer(g, next)
+	g.current = tr
+	return tr.startLocked()
+}
+
+// onCompletionLocked routes a data-plane completion.
+func (g *Group) onCompletionLocked(c rdma.Completion) []func() {
+	if c.Status == rdma.StatusBroken {
+		if g.state != stateActive {
+			return nil
+		}
+		// The completion may come from a sibling component (status table,
+		// small-message ring) sharing the group id in its token; trust the
+		// peer field over the token's rank bits when they look wrong.
+		peerRank := int(c.Token) >> 16 & 0xffff
+		if peerRank == g.rank {
+			peerRank = int(c.Token) & 0xffff
+		}
+		if peerRank < 0 || peerRank >= len(g.members) || g.members[peerRank] != c.Peer {
+			peerRank = g.rankOf(c.Peer)
+			if peerRank < 0 {
+				return nil
+			}
+		}
+		return g.failLocked(g.members[peerRank], true)
+	}
+	if g.current == nil {
+		return nil
+	}
+	return g.current.completionLocked(c)
+}

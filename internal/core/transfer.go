@@ -1,0 +1,388 @@
+package core
+
+import (
+	"rdmc/internal/rdma"
+	"rdmc/internal/schedule"
+)
+
+// blockReadyKey identifies one scheduled block transfer a receiver has
+// posted a buffer for. Readiness can arrive before the sender has started
+// the sequence (a fast receiver racing a slow relayer), so the group buffers
+// these keys rather than tying them to the active transfer.
+type blockReadyKey struct {
+	seq   int
+	to    int // rank of the receiver that is ready
+	round int
+	block int
+}
+
+// transfer is the per-message state machine of one group member.
+type transfer struct {
+	g    *Group
+	seq  int
+	size int64
+	k    int
+	np   schedule.NodePlan
+
+	buf     rdma.Buffer // message memory (Data nil for metadata-only)
+	staging []byte      // first-block landing buffer when carrying data
+
+	// Root-side start gate: the transfer begins only when every receiver
+	// has posted its buffers (§2's "starts sending only after all are
+	// prepared").
+	readyReceivers map[int]bool
+	started        bool
+
+	// Send side: sends post one at a time in schedule order.
+	sendIdx   int
+	inflight  bool
+	sendsDone int
+
+	// Receive side: receives are posted through a sliding window of
+	// RecvWindow entries ahead of completions, pacing upstream senders.
+	have       []bool
+	recvPosted int
+	recvDone   int
+
+	stats *TransferStats
+}
+
+func newTransfer(g *Group, pm pendingMsg) *transfer {
+	bs := int64(g.cfg.BlockSize)
+	k := int((pm.size + bs - 1) / bs)
+	t := &transfer{
+		g:    g,
+		seq:  pm.seq,
+		size: pm.size,
+		k:    k,
+		np:   g.nodePlan(k),
+		buf:  pm.buf,
+		have: make([]bool, k),
+	}
+	if g.rank == 0 {
+		t.started = len(g.members) == 1
+		t.readyReceivers = make(map[int]bool, len(g.members)-1)
+		for b := range t.have {
+			t.have[b] = true
+		}
+	}
+	if g.cfg.RecordStats {
+		t.stats = &TransferStats{
+			Seq:     pm.seq,
+			Size:    pm.size,
+			Blocks:  k,
+			StartAt: g.engine.host.Now(),
+		}
+	}
+	return t
+}
+
+// nodePlan computes (and caches per block count) this member's slice of the
+// group's schedule.
+func (g *Group) nodePlan(k int) schedule.NodePlan {
+	if g.planCache == nil {
+		g.planCache = make(map[int]schedule.NodePlan)
+	}
+	if np, ok := g.planCache[k]; ok {
+		return np
+	}
+	plan := g.cfg.Generator.Plan(len(g.members), k)
+	np := plan.PerNode()[g.rank]
+	g.planCache[k] = np
+	return np
+}
+
+// blockLen returns the byte length of block b (the last block may be short).
+func (t *transfer) blockLen(b int) int {
+	bs := int64(t.g.cfg.BlockSize)
+	if off := int64(b) * bs; off+bs > t.size {
+		return int(t.size - off)
+	}
+	return int(bs)
+}
+
+// blockBuf returns the buffer descriptor for block b of the message memory.
+func (t *transfer) blockBuf(b int) rdma.Buffer {
+	n := t.blockLen(b)
+	if t.buf.Data == nil {
+		return rdma.SizeBuffer(n)
+	}
+	off := b * t.g.cfg.BlockSize
+	return rdma.MakeBuffer(t.buf.Data[off : off+n])
+}
+
+func wrID(seq, idx int) uint64 { return uint64(uint32(seq))<<32 | uint64(uint32(idx)) }
+
+// startLocked begins the transfer: the root announces it to every member;
+// members allocate memory (through the Incoming callback, outside the lock),
+// post every scheduled receive, signal per-block readiness to their sources,
+// and report themselves ready to the root.
+func (t *transfer) startLocked() []func() {
+	if t.g.rank == 0 {
+		if t.stats != nil && t.started {
+			t.stats.SetupDoneAt = t.g.engine.host.Now()
+		}
+		for rank := 1; rank < len(t.g.members); rank++ {
+			t.g.ctrlTo(rank, CtrlMsg{Kind: CtrlPrepare, Group: t.g.id, Seq: t.seq, Size: t.size})
+		}
+		if t.started { // single-member group: nothing to move
+			return t.deliverLocked()
+		}
+		return nil
+	}
+
+	// Member path: the Incoming callback is application code, so run it
+	// outside the engine lock and re-enter to finish setup.
+	e, g, size := t.g.engine, t.g, int(t.size)
+	incoming := g.cfg.Callbacks.Incoming
+	return []func(){func() {
+		var data []byte
+		if incoming != nil {
+			data = incoming(size)
+		}
+		e.mu.Lock()
+		cbs := t.finishMemberSetupLocked(data)
+		e.mu.Unlock()
+		runAll(cbs)
+	}}
+}
+
+func (t *transfer) finishMemberSetupLocked(data []byte) []func() {
+	g := t.g
+	if g.state != stateActive || g.current != t {
+		return nil
+	}
+	if data != nil {
+		if len(data) < int(t.size) {
+			return g.failLocked(g.engine.NodeID(), true)
+		}
+		t.buf = rdma.MakeBuffer(data[:t.size])
+	} else {
+		t.buf = rdma.SizeBuffer(int(t.size))
+	}
+
+	// Post the initial receive window and report readiness to the root.
+	// The first block lands in a staging buffer and is copied into place
+	// on arrival — the paper's receivers allocate on the critical path
+	// when the first block announces the size, and Table 1's "Copy Time"
+	// row accounts for exactly this copy.
+	if cbs := t.postRecvWindowLocked(); cbs != nil {
+		return cbs
+	}
+	g.ctrlTo(0, CtrlMsg{Kind: CtrlReceiverReady, Group: g.id, Seq: t.seq})
+	if t.stats != nil {
+		t.stats.SetupDoneAt = g.engine.host.Now()
+	}
+	return t.pumpSendsLocked()
+}
+
+// postRecvWindowLocked advances the receive window: each posted receive is
+// announced to its source with a ready-for-block notice, so senders never
+// transmit into unposted memory and, transitively, the whole pipeline stays
+// paced to receiver progress — the paper's "posts only a few receives per
+// group" discipline. It returns non-nil only on failure.
+func (t *transfer) postRecvWindowLocked() []func() {
+	g := t.g
+	for t.recvPosted < len(t.np.Recvs) && t.recvPosted-t.recvDone < g.cfg.RecvWindow {
+		idx := t.recvPosted
+		tr := t.np.Recvs[idx]
+		qp, err := g.qpTo(tr.From)
+		if err != nil {
+			return g.failLocked(g.members[tr.From], true)
+		}
+		buf := t.blockBuf(tr.Block)
+		if idx == 0 && t.buf.Data != nil {
+			t.staging = make([]byte, buf.Len)
+			buf = rdma.MakeBuffer(t.staging)
+		}
+		if err := qp.PostRecv(buf, wrID(t.seq, idx)); err != nil {
+			return g.failLocked(g.members[tr.From], true)
+		}
+		t.recvPosted++
+		g.ctrlTo(tr.From, CtrlMsg{
+			Kind:  CtrlReadyBlock,
+			Group: g.id,
+			Seq:   t.seq,
+			Round: tr.Round,
+			Block: tr.Block,
+		})
+	}
+	return nil
+}
+
+// receiverReadyLocked gates the root's first send on every receiver having
+// posted its buffers.
+func (t *transfer) receiverReadyLocked(rank int) []func() {
+	if rank <= 0 || t.started {
+		return nil
+	}
+	t.readyReceivers[rank] = true
+	if len(t.readyReceivers) < len(t.g.members)-1 {
+		return nil
+	}
+	t.started = true
+	if t.stats != nil {
+		t.stats.SetupDoneAt = t.g.engine.host.Now()
+	}
+	return t.pumpSendsLocked()
+}
+
+// pumpSendsLocked posts sends in schedule order, one in flight at a time,
+// each gated on (a) the block being locally present, (b) the target having
+// signalled readiness for exactly that scheduled transfer, and (c) the
+// root-level start barrier.
+func (t *transfer) pumpSendsLocked() []func() {
+	g := t.g
+	if g.state != stateActive {
+		return nil
+	}
+	for !t.inflight && t.sendIdx < len(t.np.Sends) {
+		if g.rank == 0 && !t.started {
+			return nil
+		}
+		tr := t.np.Sends[t.sendIdx]
+		if !t.have[tr.Block] {
+			return nil
+		}
+		key := blockReadyKey{seq: t.seq, to: tr.To, round: tr.Round, block: tr.Block}
+		if !g.readyBlocks[key] {
+			return nil
+		}
+		qp, err := g.qpTo(tr.To)
+		if err != nil {
+			return g.failLocked(g.members[tr.To], true)
+		}
+		if t.stats != nil {
+			t.stats.Sends = append(t.stats.Sends, BlockStamp{
+				Block:    tr.Block,
+				PostedAt: g.engine.host.Now(),
+			})
+		}
+		if err := qp.PostSend(t.blockBuf(tr.Block), uint32(t.size), wrID(t.seq, t.sendIdx)); err != nil {
+			return g.failLocked(g.members[tr.To], true)
+		}
+		t.inflight = true
+	}
+	return nil
+}
+
+// completionLocked consumes a data-plane completion for this transfer.
+func (t *transfer) completionLocked(c rdma.Completion) []func() {
+	if int(c.WRID>>32) != int(uint32(t.seq)) {
+		return nil // stale completion from an earlier sequence
+	}
+	idx := int(uint32(c.WRID))
+	switch c.Op {
+	case rdma.OpSend:
+		return t.sendDoneLocked(idx)
+	case rdma.OpRecv:
+		return t.recvDoneLocked(idx, c)
+	default:
+		return nil
+	}
+}
+
+func (t *transfer) sendDoneLocked(idx int) []func() {
+	if idx != t.sendIdx || !t.inflight {
+		return nil
+	}
+	t.inflight = false
+	t.sendIdx++
+	t.sendsDone++
+	if t.stats != nil && len(t.stats.Sends) > 0 {
+		t.stats.Sends[len(t.stats.Sends)-1].DoneAt = t.g.engine.host.Now()
+	}
+	if cbs := t.pumpSendsLocked(); cbs != nil {
+		return cbs
+	}
+	return t.maybeDeliverLocked()
+}
+
+func (t *transfer) recvDoneLocked(idx int, c rdma.Completion) []func() {
+	if idx < 0 || idx >= len(t.np.Recvs) {
+		return nil
+	}
+	tr := t.np.Recvs[idx]
+	if c.Imm != uint32(t.size) {
+		// The immediate announces the message size on every block (§4.2);
+		// a mismatch means the peers disagree about the transfer.
+		return t.g.failLocked(t.g.members[tr.From], true)
+	}
+	if t.stats != nil {
+		now := t.g.engine.host.Now()
+		t.stats.Recvs = append(t.stats.Recvs, BlockStamp{Block: tr.Block, DoneAt: now})
+	}
+	if idx == 0 {
+		// First block: copy from staging into the message region. The
+		// paper overlaps this copy with the rest of the transfer ("in
+		// parallel, copy the first block to the start of the receive
+		// area", §4.2), so the block is usable immediately and the copy
+		// cost is accounted without gating the pipeline.
+		n := t.blockLen(tr.Block)
+		if t.staging != nil && t.buf.Data != nil {
+			copy(t.buf.Data[tr.Block*t.g.cfg.BlockSize:], t.staging[:n])
+		}
+		e := t.g.engine
+		before := e.host.Now()
+		stats := t.stats
+		e.host.ChargeCopy(n, func() {
+			if stats == nil {
+				return
+			}
+			e.mu.Lock()
+			stats.CopyTime += e.host.Now() - before
+			e.mu.Unlock()
+		})
+	}
+	return t.blockArrivedLocked(tr.Block)
+}
+
+func (t *transfer) blockArrivedLocked(block int) []func() {
+	if t.have[block] {
+		return nil
+	}
+	t.have[block] = true
+	t.recvDone++
+	if cbs := t.postRecvWindowLocked(); cbs != nil {
+		return cbs
+	}
+	if cbs := t.pumpSendsLocked(); cbs != nil {
+		return cbs
+	}
+	return t.maybeDeliverLocked()
+}
+
+// maybeDeliverLocked completes the message locally once every scheduled
+// receive has arrived and every scheduled send has completed — the point at
+// which "the associated memory region can be reused", which "might happen
+// before other receivers have finished getting the message" (§4.1).
+func (t *transfer) maybeDeliverLocked() []func() {
+	if t.recvDone < len(t.np.Recvs) || t.sendsDone < len(t.np.Sends) || t.inflight {
+		return nil
+	}
+	return t.deliverLocked()
+}
+
+func (t *transfer) deliverLocked() []func() {
+	g := t.g
+	g.delivered++
+	g.current = nil
+	for key := range g.readyBlocks {
+		if key.seq == t.seq {
+			delete(g.readyBlocks, key)
+		}
+	}
+	if t.stats != nil {
+		t.stats.DeliveredAt = g.engine.host.Now()
+		g.lastStats = t.stats
+	}
+
+	var cbs []func()
+	if fn := g.cfg.Callbacks.Completion; fn != nil {
+		seq, data, size := t.seq, t.buf.Data, int(t.size)
+		cbs = append(cbs, func() { fn(seq, data, size) })
+	}
+	cbs = append(cbs, g.maybeAckCloseLocked()...)
+	cbs = append(cbs, g.maybeStartNextLocked()...)
+	return cbs
+}

@@ -1,0 +1,185 @@
+package mesh
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rdmc/internal/core"
+	"rdmc/internal/rdma"
+)
+
+// buildMesh stands up n mesh endpoints on loopback.
+func buildMesh(t *testing.T, n int, onDown func(self, peer rdma.NodeID)) []*Mesh {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	addrs := make(map[rdma.NodeID]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[rdma.NodeID(i)] = ln.Addr().String()
+	}
+	meshes := make([]*Mesh, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := Config{
+				NodeID:   rdma.NodeID(i),
+				Listener: listeners[i],
+				Addrs:    addrs,
+			}
+			if onDown != nil {
+				cfg.OnPeerDown = func(peer rdma.NodeID) { onDown(rdma.NodeID(i), peer) }
+			}
+			meshes[i], errs[i] = New(cfg)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("mesh %d: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, m := range meshes {
+			if m != nil {
+				_ = m.Close()
+			}
+		}
+	})
+	return meshes
+}
+
+func TestMeshDeliversInSenderOrder(t *testing.T) {
+	meshes := buildMesh(t, 3, nil)
+	type rx struct {
+		from rdma.NodeID
+		msg  core.CtrlMsg
+	}
+	got := make(chan rx, 100)
+	meshes[2].SetHandler(func(from rdma.NodeID, m core.CtrlMsg) {
+		got <- rx{from, m}
+	})
+	for i := 0; i < 20; i++ {
+		if err := meshes[0].Send(2, core.CtrlMsg{Kind: core.CtrlPrepare, Group: 1, Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		select {
+		case r := <-got:
+			if r.from != 0 || r.msg.Seq != i {
+				t.Fatalf("message %d: from %d seq %d", i, r.from, r.msg.Seq)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out at message %d", i)
+		}
+	}
+}
+
+func TestMeshAllPairsCanTalk(t *testing.T) {
+	const n = 4
+	meshes := buildMesh(t, n, nil)
+	var (
+		mu    sync.Mutex
+		count int
+	)
+	for i := 0; i < n; i++ {
+		meshes[i].SetHandler(func(from rdma.NodeID, m core.CtrlMsg) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+		})
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if err := meshes[i].Send(rdma.NodeID(j), core.CtrlMsg{Kind: core.CtrlFailure}); err != nil {
+				t.Fatalf("%d→%d: %v", i, j, err)
+			}
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		done := count == n*(n-1)
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d", count, n*(n-1))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestMeshSendToUnknownPeer(t *testing.T) {
+	meshes := buildMesh(t, 2, nil)
+	if err := meshes[0].Send(9, core.CtrlMsg{}); err == nil {
+		t.Error("send to unknown peer succeeded")
+	}
+}
+
+func TestMeshPeerDownNotification(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		downs = make(map[string]int)
+	)
+	meshes := buildMesh(t, 3, func(self, peer rdma.NodeID) {
+		mu.Lock()
+		downs[fmt.Sprintf("%d<-%d", self, peer)]++
+		mu.Unlock()
+	})
+	_ = meshes[2].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		ok := downs["0<-2"] == 1 && downs["1<-2"] == 1
+		mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			t.Fatalf("peer-down notifications = %v", downs)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Sends to the dead peer now fail, and the notification stays single.
+	if err := meshes[0].Send(2, core.CtrlMsg{}); err == nil {
+		t.Error("send to dead peer succeeded")
+	}
+	mu.Lock()
+	if downs["0<-2"] != 1 {
+		t.Errorf("duplicate peer-down notification: %v", downs)
+	}
+	mu.Unlock()
+}
+
+func TestMeshRequiresListener(t *testing.T) {
+	if _, err := New(Config{NodeID: 0}); err == nil {
+		t.Error("New without listener succeeded")
+	}
+}
+
+func TestMeshCloseIsIdempotent(t *testing.T) {
+	meshes := buildMesh(t, 2, nil)
+	if err := meshes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := meshes[0].Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}

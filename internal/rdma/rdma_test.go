@@ -1,0 +1,48 @@
+package rdma
+
+import "testing"
+
+func TestOpTypeStrings(t *testing.T) {
+	tests := []struct {
+		op   OpType
+		want string
+	}{
+		{OpSend, "send"},
+		{OpRecv, "recv"},
+		{OpWrite, "write"},
+		{OpType(0), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("OpType(%d).String() = %q, want %q", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	tests := []struct {
+		s    Status
+		want string
+	}{
+		{StatusOK, "ok"},
+		{StatusBroken, "broken"},
+		{Status(0), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("Status(%d).String() = %q, want %q", tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestBufferConstructors(t *testing.T) {
+	data := []byte{1, 2, 3}
+	b := MakeBuffer(data)
+	if b.Len != 3 || &b.Data[0] != &data[0] {
+		t.Errorf("MakeBuffer = %+v", b)
+	}
+	s := SizeBuffer(1 << 20)
+	if s.Len != 1<<20 || s.Data != nil {
+		t.Errorf("SizeBuffer = %+v", s)
+	}
+}

@@ -1,0 +1,411 @@
+// Package simnic implements the rdma.Provider interface over the simnet
+// fluid-flow fabric. It is the stand-in for the Mellanox RDMA NICs used in
+// the RDMC paper: queue pairs are FIFO, completions fire at the virtual time
+// the last byte arrives, software costs go through the simnet CPU model, and
+// link or node failures surface as StatusBroken completions.
+//
+// Everything runs on the simulation's single event-loop thread; providers are
+// not goroutine-safe and must only be touched from simulation callbacks (or
+// before the simulation starts).
+package simnic
+
+import (
+	"fmt"
+
+	"rdmc/internal/rdma"
+	"rdmc/internal/simnet"
+)
+
+// Network creates providers that share one simulated cluster and pairs their
+// queue-pair endpoints by (node, node, token) rendezvous.
+type Network struct {
+	cluster   *simnet.Cluster
+	pending   map[connKey][]*queuePair
+	providers map[rdma.NodeID]*Provider
+}
+
+type connKey struct {
+	lo, hi rdma.NodeID
+	token  uint64
+}
+
+// NewNetwork wraps a simulated cluster.
+func NewNetwork(cluster *simnet.Cluster) *Network {
+	return &Network{
+		cluster:   cluster,
+		pending:   make(map[connKey][]*queuePair),
+		providers: make(map[rdma.NodeID]*Provider),
+	}
+}
+
+// Cluster returns the underlying simulated cluster.
+func (n *Network) Cluster() *simnet.Cluster { return n.cluster }
+
+// Provider returns the NIC of the given node; a node has exactly one, so
+// repeated calls return the same instance.
+func (n *Network) Provider(id rdma.NodeID) *Provider {
+	if p, ok := n.providers[id]; ok {
+		return p
+	}
+	p := &Provider{
+		net:      n,
+		id:       id,
+		regions:  make(map[rdma.RegionID][]byte),
+		watchers: make(map[rdma.RegionID]func(int, int)),
+	}
+	n.providers[id] = p
+	return p
+}
+
+func (n *Network) rendezvous(qp *queuePair) {
+	key := connKey{lo: qp.local.id, hi: qp.peer, token: qp.token}
+	if key.lo > key.hi {
+		key.lo, key.hi = key.hi, key.lo
+	}
+	for i, other := range n.pending[key] {
+		if other.local.id == qp.peer {
+			n.pending[key] = append(n.pending[key][:i], n.pending[key][i+1:]...)
+			qp.remote, other.remote = other, qp
+			qp.maybeStart()
+			other.maybeStart()
+			return
+		}
+	}
+	n.pending[key] = append(n.pending[key], qp)
+}
+
+// Provider is a simulated NIC.
+type Provider struct {
+	net      *Network
+	id       rdma.NodeID
+	handler  func(rdma.Completion)
+	regions  map[rdma.RegionID][]byte
+	watchers map[rdma.RegionID]func(int, int)
+	offload  bool
+	closed   bool
+	qps      []*queuePair
+}
+
+var _ rdma.Provider = (*Provider)(nil)
+
+// NodeID implements rdma.Provider.
+func (p *Provider) NodeID() rdma.NodeID { return p.id }
+
+// SetHandler implements rdma.Provider.
+func (p *Provider) SetHandler(h func(rdma.Completion)) { p.handler = h }
+
+// SetOffload toggles CORE-Direct-style cross-channel offload (§2, Figure 12
+// of the paper): with it on, posting and completion handling bypass the CPU
+// model entirely, as if the precomputed data-flow graph executed on the NIC.
+func (p *Provider) SetOffload(on bool) { p.offload = on }
+
+// Connect implements rdma.Provider.
+func (p *Provider) Connect(peer rdma.NodeID, token uint64) (rdma.QueuePair, error) {
+	if p.closed {
+		return nil, rdma.ErrClosed
+	}
+	if int(peer) < 0 || int(peer) >= p.net.cluster.Config().Nodes {
+		return nil, fmt.Errorf("simnic: peer %d outside cluster of %d nodes", peer, p.net.cluster.Config().Nodes)
+	}
+	qp := &queuePair{local: p, peer: peer, token: token}
+	p.qps = append(p.qps, qp)
+	p.net.rendezvous(qp)
+	return qp, nil
+}
+
+// RegisterRegion implements rdma.Provider.
+func (p *Provider) RegisterRegion(id rdma.RegionID, buf []byte) error {
+	if p.closed {
+		return rdma.ErrClosed
+	}
+	p.regions[id] = buf
+	return nil
+}
+
+// Region implements rdma.Provider.
+func (p *Provider) Region(id rdma.RegionID) []byte { return p.regions[id] }
+
+// WatchRegion implements rdma.Provider.
+func (p *Provider) WatchRegion(id rdma.RegionID, fn func(offset, length int)) error {
+	if p.closed {
+		return rdma.ErrClosed
+	}
+	if _, ok := p.regions[id]; !ok {
+		return rdma.ErrUnknownRegion
+	}
+	p.watchers[id] = fn
+	return nil
+}
+
+// Close implements rdma.Provider.
+func (p *Provider) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	for _, qp := range p.qps {
+		qp.breakConn()
+	}
+	return nil
+}
+
+func (p *Provider) cpu() *simnet.CPU { return p.net.cluster.CPU(simnet.NodeID(p.id)) }
+
+func (p *Provider) sim() *simnet.Sim { return p.net.cluster.Sim() }
+
+// deliver routes a completion through the CPU model (or straight through
+// under offload) to the handler.
+func (p *Provider) deliver(c rdma.Completion) {
+	if p.handler == nil {
+		return
+	}
+	h := p.handler
+	if p.offload {
+		p.sim().After(0, func() { h(c) })
+		return
+	}
+	p.cpu().Deliver(func() { h(c) })
+}
+
+type sendWR struct {
+	buf   rdma.Buffer
+	imm   uint32
+	wrID  uint64
+	write bool
+	// one-sided write fields
+	region rdma.RegionID
+	offset int
+	data   []byte
+}
+
+type recvWR struct {
+	buf  rdma.Buffer
+	wrID uint64
+}
+
+type arrival struct {
+	bytes int
+	imm   uint32
+	data  []byte
+	write bool
+	// write fields
+	region rdma.RegionID
+	offset int
+}
+
+// queuePair is one simulated RC endpoint. Sends execute one at a time in
+// FIFO order; receives match arrivals in order.
+type queuePair struct {
+	local    *Provider
+	peer     rdma.NodeID
+	token    uint64
+	remote   *queuePair
+	sends    []sendWR
+	inflight bool
+	recvs    []recvWR
+	arrivals []arrival
+	broken   bool
+}
+
+var _ rdma.QueuePair = (*queuePair)(nil)
+
+// Peer implements rdma.QueuePair.
+func (q *queuePair) Peer() rdma.NodeID { return q.peer }
+
+// Token implements rdma.QueuePair.
+func (q *queuePair) Token() uint64 { return q.token }
+
+// PostSend implements rdma.QueuePair.
+func (q *queuePair) PostSend(buf rdma.Buffer, imm uint32, wrID uint64) error {
+	if err := q.postCheck(); err != nil {
+		return err
+	}
+	q.sends = append(q.sends, sendWR{buf: buf, imm: imm, wrID: wrID})
+	q.maybeStart()
+	return nil
+}
+
+// PostWrite implements rdma.QueuePair.
+func (q *queuePair) PostWrite(region rdma.RegionID, offset int, data []byte, wrID uint64) error {
+	if err := q.postCheck(); err != nil {
+		return err
+	}
+	q.sends = append(q.sends, sendWR{
+		write:  true,
+		region: region,
+		offset: offset,
+		data:   append([]byte(nil), data...),
+		buf:    rdma.SizeBuffer(len(data)),
+		wrID:   wrID,
+	})
+	q.maybeStart()
+	return nil
+}
+
+// PostRecv implements rdma.QueuePair.
+func (q *queuePair) PostRecv(buf rdma.Buffer, wrID uint64) error {
+	if err := q.postCheck(); err != nil {
+		return err
+	}
+	if len(q.arrivals) > 0 {
+		a := q.arrivals[0]
+		q.arrivals = q.arrivals[1:]
+		q.completeRecv(recvWR{buf: buf, wrID: wrID}, a)
+		return nil
+	}
+	q.recvs = append(q.recvs, recvWR{buf: buf, wrID: wrID})
+	return nil
+}
+
+// Close implements rdma.QueuePair.
+func (q *queuePair) Close() error {
+	q.breakConn()
+	return nil
+}
+
+func (q *queuePair) postCheck() error {
+	switch {
+	case q.broken:
+		return rdma.ErrBroken
+	case q.local.closed:
+		return rdma.ErrClosed
+	case q.local.handler == nil:
+		return rdma.ErrNoHandler
+	}
+	return nil
+}
+
+// maybeStart launches the next queued send if the wire is idle and the
+// endpoints are paired.
+func (q *queuePair) maybeStart() {
+	if q.inflight || q.broken || q.remote == nil || len(q.sends) == 0 {
+		return
+	}
+	q.inflight = true
+	wr := q.sends[0]
+	start := func() { q.transmit(wr) }
+	if q.local.offload {
+		start()
+		return
+	}
+	q.local.cpu().Exec(q.local.cpu().Config().PostCost, start)
+}
+
+func (q *queuePair) transmit(wr sendWR) {
+	src := simnet.NodeID(q.local.id)
+	dst := simnet.NodeID(q.peer)
+	q.local.net.cluster.Transfer(src, dst, float64(wr.buf.Len), func(broken bool) {
+		if q.broken {
+			return
+		}
+		if broken {
+			q.breakConn()
+			if q.remote != nil {
+				q.remote.breakConn()
+			}
+			return
+		}
+		q.sends = q.sends[1:]
+		q.inflight = false
+		op := rdma.OpSend
+		if wr.write {
+			op = rdma.OpWrite
+		}
+		q.local.deliver(rdma.Completion{
+			Op:     op,
+			Status: rdma.StatusOK,
+			Peer:   q.peer,
+			Token:  q.token,
+			WRID:   wr.wrID,
+			Bytes:  wr.buf.Len,
+		})
+		q.remote.onArrival(arrival{
+			bytes:  wr.buf.Len,
+			imm:    wr.imm,
+			data:   wr.buf.Data,
+			write:  wr.write,
+			region: wr.region,
+			offset: wr.offset,
+		}, wr.data)
+		q.maybeStart()
+	})
+}
+
+func (q *queuePair) onArrival(a arrival, writeData []byte) {
+	if q.broken {
+		return
+	}
+	if a.write {
+		region := q.local.regions[a.region]
+		if region != nil && a.offset >= 0 && a.offset+len(writeData) <= len(region) {
+			copy(region[a.offset:], writeData)
+		}
+		if fn := q.local.watchers[a.region]; fn != nil {
+			fn(a.offset, len(writeData))
+		}
+		return
+	}
+	if len(q.recvs) == 0 {
+		q.arrivals = append(q.arrivals, a)
+		return
+	}
+	wr := q.recvs[0]
+	q.recvs = q.recvs[1:]
+	q.completeRecv(wr, a)
+}
+
+func (q *queuePair) completeRecv(wr recvWR, a arrival) {
+	c := rdma.Completion{
+		Op:     rdma.OpRecv,
+		Status: rdma.StatusOK,
+		Peer:   q.peer,
+		Token:  q.token,
+		WRID:   wr.wrID,
+		Imm:    a.imm,
+		Bytes:  a.bytes,
+	}
+	if a.data != nil && wr.buf.Data != nil {
+		if len(wr.buf.Data) < len(a.data) {
+			q.breakConn()
+			if q.remote != nil {
+				q.remote.breakConn()
+			}
+			return
+		}
+		copy(wr.buf.Data, a.data)
+		c.Data = wr.buf.Data[:len(a.data)]
+	}
+	q.local.deliver(c)
+}
+
+// breakConn fails every outstanding work request on this endpoint.
+func (q *queuePair) breakConn() {
+	if q.broken {
+		return
+	}
+	q.broken = true
+	for _, wr := range q.sends {
+		op := rdma.OpSend
+		if wr.write {
+			op = rdma.OpWrite
+		}
+		q.local.deliver(rdma.Completion{
+			Op:     op,
+			Status: rdma.StatusBroken,
+			Peer:   q.peer,
+			Token:  q.token,
+			WRID:   wr.wrID,
+		})
+	}
+	q.sends = nil
+	for _, wr := range q.recvs {
+		q.local.deliver(rdma.Completion{
+			Op:     rdma.OpRecv,
+			Status: rdma.StatusBroken,
+			Peer:   q.peer,
+			Token:  q.token,
+			WRID:   wr.wrID,
+		})
+	}
+	q.recvs = nil
+}

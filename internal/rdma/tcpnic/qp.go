@@ -1,0 +1,420 @@
+package tcpnic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"rdmc/internal/rdma"
+)
+
+// frame header layout: type(1) virtual(1) imm(4) aux(8) length(4).
+// For data frames aux is unused; for write frames aux packs the region id
+// (high 32 bits) and offset (low 32 bits). virtual=1 marks a metadata-only
+// payload that is not carried on the wire.
+const headerLen = 18
+
+type sendWR struct {
+	buf     rdma.Buffer
+	imm     uint32
+	wrID    uint64
+	write   bool
+	region  rdma.RegionID
+	offset  int
+	payload []byte // write payload (owned copy)
+}
+
+type recvWR struct {
+	buf  rdma.Buffer
+	wrID uint64
+}
+
+type arrival struct {
+	imm     uint32
+	length  int
+	payload []byte // nil for virtual frames
+}
+
+// queuePair is one TCP-backed reliable connection endpoint.
+type queuePair struct {
+	p     *Provider
+	peer  rdma.NodeID
+	token uint64
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	conn     net.Conn
+	sendQ    []sendWR
+	recvQ    []recvWR
+	arrivals []arrival
+	broken   bool
+}
+
+var _ rdma.QueuePair = (*queuePair)(nil)
+
+func newQueuePair(p *Provider, peer rdma.NodeID, token uint64) *queuePair {
+	qp := &queuePair{p: p, peer: peer, token: token}
+	qp.cond = sync.NewCond(&qp.mu)
+	return qp
+}
+
+// Peer implements rdma.QueuePair.
+func (q *queuePair) Peer() rdma.NodeID { return q.peer }
+
+// Token implements rdma.QueuePair.
+func (q *queuePair) Token() uint64 { return q.token }
+
+// PostSend implements rdma.QueuePair.
+func (q *queuePair) PostSend(buf rdma.Buffer, imm uint32, wrID uint64) error {
+	return q.enqueue(sendWR{buf: buf, imm: imm, wrID: wrID})
+}
+
+// PostWrite implements rdma.QueuePair.
+func (q *queuePair) PostWrite(region rdma.RegionID, offset int, data []byte, wrID uint64) error {
+	return q.enqueue(sendWR{
+		write:   true,
+		region:  region,
+		offset:  offset,
+		payload: append([]byte(nil), data...),
+		buf:     rdma.SizeBuffer(len(data)),
+		wrID:    wrID,
+	})
+}
+
+func (q *queuePair) enqueue(wr sendWR) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.broken {
+		return rdma.ErrBroken
+	}
+	q.p.mu.Lock()
+	noHandler := q.p.handler == nil
+	q.p.mu.Unlock()
+	if noHandler {
+		return rdma.ErrNoHandler
+	}
+	q.sendQ = append(q.sendQ, wr)
+	q.cond.Broadcast()
+	return nil
+}
+
+// PostRecv implements rdma.QueuePair.
+func (q *queuePair) PostRecv(buf rdma.Buffer, wrID uint64) error {
+	q.mu.Lock()
+	if q.broken {
+		q.mu.Unlock()
+		return rdma.ErrBroken
+	}
+	if len(q.arrivals) > 0 {
+		a := q.arrivals[0]
+		q.arrivals = q.arrivals[1:]
+		q.mu.Unlock()
+		return q.completeRecv(recvWR{buf: buf, wrID: wrID}, a)
+	}
+	q.recvQ = append(q.recvQ, recvWR{buf: buf, wrID: wrID})
+	q.mu.Unlock()
+	return nil
+}
+
+// Close implements rdma.QueuePair.
+func (q *queuePair) Close() error {
+	q.breakConn()
+	return nil
+}
+
+// dial establishes the connection from the higher-id side, retrying briefly
+// to ride out listener startup races.
+func (q *queuePair) dial(addr string) {
+	var (
+		conn net.Conn
+		err  error
+	)
+	for attempt := 0; attempt < 5; attempt++ {
+		q.mu.Lock()
+		dead := q.broken
+		q.mu.Unlock()
+		if dead {
+			return
+		}
+		conn, err = net.DialTimeout("tcp", addr, 2*time.Second)
+		if err == nil {
+			break
+		}
+		time.Sleep(time.Duration(attempt+1) * 20 * time.Millisecond)
+	}
+	if err != nil {
+		q.breakConn()
+		return
+	}
+	var hs [12]byte
+	binary.BigEndian.PutUint32(hs[0:4], uint32(q.p.cfg.NodeID))
+	binary.BigEndian.PutUint64(hs[4:12], q.token)
+	if _, err := conn.Write(hs[:]); err != nil {
+		_ = conn.Close()
+		q.breakConn()
+		return
+	}
+	q.attach(conn)
+}
+
+// attach binds the live connection and starts the reader and writer loops.
+func (q *queuePair) attach(conn net.Conn) {
+	setNoDelay(conn)
+	q.mu.Lock()
+	if q.broken || q.conn != nil {
+		q.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	q.conn = conn
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	q.p.wg.Add(2)
+	go func() {
+		defer q.p.wg.Done()
+		q.writer(conn)
+	}()
+	go func() {
+		defer q.p.wg.Done()
+		q.reader(conn)
+	}()
+}
+
+// writer drains the send queue in FIFO order, one frame at a time.
+func (q *queuePair) writer(conn net.Conn) {
+	for {
+		q.mu.Lock()
+		for len(q.sendQ) == 0 && !q.broken {
+			q.cond.Wait()
+		}
+		if q.broken {
+			q.mu.Unlock()
+			return
+		}
+		wr := q.sendQ[0]
+		q.mu.Unlock()
+
+		if err := q.writeFrame(conn, wr); err != nil {
+			q.breakConn()
+			return
+		}
+
+		q.mu.Lock()
+		if q.broken {
+			q.mu.Unlock()
+			return
+		}
+		q.sendQ = q.sendQ[1:]
+		q.mu.Unlock()
+
+		op := rdma.OpSend
+		if wr.write {
+			op = rdma.OpWrite
+		}
+		q.p.post(rdma.Completion{
+			Op:     op,
+			Status: rdma.StatusOK,
+			Peer:   q.peer,
+			Token:  q.token,
+			WRID:   wr.wrID,
+			Bytes:  wr.buf.Len,
+		})
+	}
+}
+
+func (q *queuePair) writeFrame(conn net.Conn, wr sendWR) error {
+	var hdr [headerLen]byte
+	payload := wr.buf.Data
+	virtual := byte(0)
+	kind := byte(frameData)
+	if wr.write {
+		kind = frameWrite
+		payload = wr.payload
+		binary.BigEndian.PutUint64(hdr[6:14], uint64(wr.region)<<32|uint64(uint32(wr.offset)))
+	}
+	if payload == nil {
+		virtual = 1
+	}
+	hdr[0] = kind
+	hdr[1] = virtual
+	binary.BigEndian.PutUint32(hdr[2:6], wr.imm)
+	binary.BigEndian.PutUint32(hdr[14:18], uint32(wr.buf.Len))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	if virtual == 0 {
+		if _, err := conn.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reader decodes frames and matches them against posted receives.
+func (q *queuePair) reader(conn net.Conn) {
+	for {
+		var hdr [headerLen]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			q.breakConn()
+			return
+		}
+		var (
+			kind    = hdr[0]
+			virtual = hdr[1] == 1
+			imm     = binary.BigEndian.Uint32(hdr[2:6])
+			aux     = binary.BigEndian.Uint64(hdr[6:14])
+			length  = int(binary.BigEndian.Uint32(hdr[14:18]))
+		)
+		if length < 0 || length > maxFrame {
+			q.breakConn()
+			return
+		}
+
+		switch kind {
+		case frameWrite:
+			if err := q.applyWrite(conn, aux, length, virtual); err != nil {
+				q.breakConn()
+				return
+			}
+
+		case frameData:
+			q.mu.Lock()
+			var wr recvWR
+			matched := false
+			if len(q.recvQ) > 0 {
+				wr = q.recvQ[0]
+				q.recvQ = q.recvQ[1:]
+				matched = true
+			}
+			q.mu.Unlock()
+
+			if matched {
+				a := arrival{imm: imm, length: length}
+				if !virtual {
+					if wr.buf.Data == nil || len(wr.buf.Data) < length {
+						// No place to put real bytes: protocol breach.
+						q.breakConn()
+						return
+					}
+					if _, err := io.ReadFull(conn, wr.buf.Data[:length]); err != nil {
+						q.breakConn()
+						return
+					}
+					a.payload = wr.buf.Data[:length]
+				}
+				if err := q.completeRecv(wr, a); err != nil {
+					q.breakConn()
+					return
+				}
+				continue
+			}
+
+			// Receive not yet posted: buffer the arrival.
+			a := arrival{imm: imm, length: length}
+			if !virtual {
+				a.payload = make([]byte, length)
+				if _, err := io.ReadFull(conn, a.payload); err != nil {
+					q.breakConn()
+					return
+				}
+			}
+			q.mu.Lock()
+			q.arrivals = append(q.arrivals, a)
+			q.mu.Unlock()
+
+		default:
+			q.breakConn()
+			return
+		}
+	}
+}
+
+func (q *queuePair) applyWrite(conn net.Conn, aux uint64, length int, virtual bool) error {
+	region := rdma.RegionID(aux >> 32)
+	offset := int(uint32(aux))
+	var payload []byte
+	if !virtual {
+		payload = make([]byte, length)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return err
+		}
+	}
+	q.p.mu.Lock()
+	mem := q.p.regions[region]
+	watcher := q.p.watchers[region]
+	q.p.mu.Unlock()
+	if mem != nil && payload != nil {
+		if offset < 0 || offset+length > len(mem) {
+			return fmt.Errorf("tcpnic: write outside region %d", region)
+		}
+		copy(mem[offset:], payload)
+	}
+	if watcher != nil {
+		watcher(offset, length)
+	}
+	return nil
+}
+
+func (q *queuePair) completeRecv(wr recvWR, a arrival) error {
+	if a.payload != nil && wr.buf.Data != nil && a.length > 0 {
+		if len(wr.buf.Data) < a.length {
+			return rdma.ErrBufferTooSmall
+		}
+		if &wr.buf.Data[0] != &a.payload[0] {
+			copy(wr.buf.Data, a.payload)
+		}
+	}
+	c := rdma.Completion{
+		Op:     rdma.OpRecv,
+		Status: rdma.StatusOK,
+		Peer:   q.peer,
+		Token:  q.token,
+		WRID:   wr.wrID,
+		Imm:    a.imm,
+		Bytes:  a.length,
+	}
+	if a.payload != nil && wr.buf.Data != nil {
+		c.Data = wr.buf.Data[:a.length]
+	}
+	q.p.post(c)
+	return nil
+}
+
+// breakConn fails the endpoint: outstanding work requests complete with
+// StatusBroken and the connection closes.
+func (q *queuePair) breakConn() {
+	q.mu.Lock()
+	if q.broken {
+		q.mu.Unlock()
+		return
+	}
+	q.broken = true
+	conn := q.conn
+	sends := q.sendQ
+	recvs := q.recvQ
+	q.sendQ, q.recvQ = nil, nil
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	if conn != nil {
+		_ = conn.Close()
+	}
+	for _, wr := range sends {
+		op := rdma.OpSend
+		if wr.write {
+			op = rdma.OpWrite
+		}
+		q.p.post(rdma.Completion{
+			Op: op, Status: rdma.StatusBroken, Peer: q.peer, Token: q.token, WRID: wr.wrID,
+		})
+	}
+	for _, wr := range recvs {
+		q.p.post(rdma.Completion{
+			Op: rdma.OpRecv, Status: rdma.StatusBroken, Peer: q.peer, Token: q.token, WRID: wr.wrID,
+		})
+	}
+}

@@ -1,0 +1,292 @@
+package tcpnic
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rdmc/internal/rdma"
+)
+
+// completionSink collects completions thread-safely.
+type completionSink struct {
+	mu   sync.Mutex
+	got  []rdma.Completion
+	cond *sync.Cond
+}
+
+func newSink() *completionSink {
+	s := &completionSink{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *completionSink) handle(c rdma.Completion) {
+	s.mu.Lock()
+	s.got = append(s.got, c)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// waitN blocks until n completions arrived or the timeout passed.
+func (s *completionSink) waitN(t *testing.T, n int) []rdma.Completion {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	timer := time.AfterFunc(10*time.Second, func() { s.cond.Broadcast() })
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.got) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out with %d of %d completions", len(s.got), n)
+		}
+		s.cond.Wait()
+	}
+	return append([]rdma.Completion(nil), s.got...)
+}
+
+// newPair stands up two providers on loopback and returns them with sinks.
+func newPair(t *testing.T) (a, b *Provider, sa, sb *completionSink) {
+	t.Helper()
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := map[rdma.NodeID]string{0: lnA.Addr().String(), 1: lnB.Addr().String()}
+	a, err = New(Config{NodeID: 0, Listener: lnA, Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = New(Config{NodeID: 1, Listener: lnB, Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb = newSink(), newSink()
+	a.SetHandler(sa.handle)
+	b.SetHandler(sb.handle)
+	t.Cleanup(func() {
+		_ = a.Close()
+		_ = b.Close()
+	})
+	return a, b, sa, sb
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	a, b, sa, sb := newPair(t)
+	qa, err := a.Connect(1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := b.Connect(0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recvBuf := make([]byte, 64)
+	if err := qb.PostRecv(rdma.MakeBuffer(recvBuf), 7); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("over real sockets")
+	if err := qa.PostSend(rdma.MakeBuffer(payload), 0xbeef, 9); err != nil {
+		t.Fatal(err)
+	}
+
+	sends := sa.waitN(t, 1)
+	if sends[0].Op != rdma.OpSend || sends[0].WRID != 9 || sends[0].Status != rdma.StatusOK {
+		t.Errorf("send completion = %+v", sends[0])
+	}
+	recvs := sb.waitN(t, 1)
+	r := recvs[0]
+	if r.Op != rdma.OpRecv || r.Imm != 0xbeef || r.WRID != 7 || r.Peer != 0 || r.Token != 42 {
+		t.Errorf("recv completion = %+v", r)
+	}
+	if !bytes.Equal(r.Data, payload) {
+		t.Errorf("data = %q, want %q", r.Data, payload)
+	}
+}
+
+func TestVirtualSendCarriesNoBytes(t *testing.T) {
+	a, b, _, sb := newPair(t)
+	qa, _ := a.Connect(1, 1)
+	qb, _ := b.Connect(0, 1)
+	if err := qb.PostRecv(rdma.SizeBuffer(1<<20), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSend(rdma.SizeBuffer(1<<20), 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	recvs := sb.waitN(t, 1)
+	if recvs[0].Bytes != 1<<20 || recvs[0].Data != nil {
+		t.Errorf("virtual recv = %+v", recvs[0])
+	}
+}
+
+func TestFIFOAcrossManyMessages(t *testing.T) {
+	a, b, _, sb := newPair(t)
+	qa, _ := a.Connect(1, 1)
+	qb, _ := b.Connect(0, 1)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := qb.PostRecv(rdma.SizeBuffer(64), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := qa.PostSend(rdma.SizeBuffer(64), uint32(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvs := sb.waitN(t, n)
+	for i, c := range recvs {
+		if c.WRID != uint64(i) || c.Imm != uint32(i) {
+			t.Fatalf("completion %d out of order: %+v", i, c)
+		}
+	}
+}
+
+func TestEarlyArrivalBuffersUntilRecvPosted(t *testing.T) {
+	a, b, _, sb := newPair(t)
+	qa, _ := a.Connect(1, 1)
+	qb, _ := b.Connect(0, 1)
+	payload := []byte("early bird")
+	if err := qa.PostSend(rdma.MakeBuffer(payload), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the frame land unmatched
+	buf := make([]byte, 32)
+	if err := qb.PostRecv(rdma.MakeBuffer(buf), 2); err != nil {
+		t.Fatal(err)
+	}
+	recvs := sb.waitN(t, 1)
+	if !bytes.Equal(recvs[0].Data, payload) {
+		t.Errorf("buffered arrival corrupted: %q", recvs[0].Data)
+	}
+}
+
+func TestOneSidedWriteOverTCP(t *testing.T) {
+	a, b, sa, _ := newPair(t)
+	region := make([]byte, 64)
+	if err := b.RegisterRegion(3, region); err != nil {
+		t.Fatal(err)
+	}
+	watched := make(chan [2]int, 1)
+	if err := b.WatchRegion(3, func(off, n int) { watched <- [2]int{off, n} }); err != nil {
+		t.Fatal(err)
+	}
+	qa, _ := a.Connect(1, 1)
+	if _, err := b.Connect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostWrite(3, 16, []byte("poke"), 11); err != nil {
+		t.Fatal(err)
+	}
+	writes := sa.waitN(t, 1)
+	if writes[0].Op != rdma.OpWrite || writes[0].WRID != 11 {
+		t.Errorf("write completion = %+v", writes[0])
+	}
+	select {
+	case w := <-watched:
+		if w != [2]int{16, 4} {
+			t.Errorf("watch = %v, want {16,4}", w)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher never fired")
+	}
+	if string(region[16:20]) != "poke" {
+		t.Errorf("region = %q", region[:24])
+	}
+}
+
+func TestPeerCloseBreaksOutstandingWork(t *testing.T) {
+	a, b, _, sb := newPair(t)
+	qa, _ := a.Connect(1, 1)
+	qb, _ := b.Connect(0, 1)
+	// Force connection establishment with one round trip.
+	if err := qb.PostRecv(rdma.SizeBuffer(8), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSend(rdma.SizeBuffer(8), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sb.waitN(t, 1)
+	if err := qb.PostRecv(rdma.SizeBuffer(8), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recvs := sb.waitN(t, 2)
+	if recvs[1].Status != rdma.StatusBroken {
+		t.Errorf("pending recv after peer close: %+v", recvs[1])
+	}
+	if err := qb.PostSend(rdma.SizeBuffer(1), 0, 3); err != rdma.ErrBroken {
+		t.Errorf("post on broken qp: err = %v, want ErrBroken", err)
+	}
+}
+
+func TestPostWithoutHandler(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{NodeID: 0, Listener: ln, Addrs: map[rdma.NodeID]string{0: ln.Addr().String()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = p.Close() }()
+	qp, err := p.Connect(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qp.PostSend(rdma.SizeBuffer(1), 0, 1); err != rdma.ErrNoHandler {
+		t.Errorf("err = %v, want ErrNoHandler", err)
+	}
+}
+
+func TestConnectIsIdempotentPerToken(t *testing.T) {
+	a, _, _, _ := newPair(t)
+	q1, err := a.Connect(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := a.Connect(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != q2 {
+		t.Error("same (peer, token) returned distinct queue pairs")
+	}
+}
+
+func TestNewRequiresListener(t *testing.T) {
+	if _, err := New(Config{NodeID: 0}); err == nil {
+		t.Error("New without listener succeeded")
+	}
+}
+
+func TestLargeTransferIntegrity(t *testing.T) {
+	a, b, _, sb := newPair(t)
+	qa, _ := a.Connect(1, 1)
+	qb, _ := b.Connect(0, 1)
+	payload := make([]byte, 4<<20)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	buf := make([]byte, len(payload))
+	if err := qb.PostRecv(rdma.MakeBuffer(buf), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSend(rdma.MakeBuffer(payload), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	recvs := sb.waitN(t, 1)
+	if !bytes.Equal(recvs[0].Data, payload) {
+		t.Error("4 MB transfer corrupted")
+	}
+}

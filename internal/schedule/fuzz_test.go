@@ -1,0 +1,43 @@
+package schedule
+
+import "testing"
+
+// FuzzBinomialPipelinePlan drives the pipeline generator (closed form and
+// circulant paths) with arbitrary shapes and checks the full plan
+// invariants; `go test -fuzz FuzzBinomialPipelinePlan` explores beyond the
+// seeds.
+func FuzzBinomialPipelinePlan(f *testing.F) {
+	f.Add(uint8(2), uint16(1))
+	f.Add(uint8(8), uint16(3))
+	f.Add(uint8(9), uint16(64))
+	f.Add(uint8(33), uint16(7))
+	f.Add(uint8(64), uint16(256))
+	f.Fuzz(func(t *testing.T, nRaw uint8, kRaw uint16) {
+		n := int(nRaw)%96 + 1
+		k := int(kRaw)%300 + 1
+		p := BinomialPipelineGen{}.Plan(n, k)
+		if err := p.ValidateStrict(); err != nil {
+			t.Fatalf("n=%d k=%d: %v", n, k, err)
+		}
+	})
+}
+
+// FuzzHybridPlan drives the rack-aware generator with arbitrary rack shapes.
+func FuzzHybridPlan(f *testing.F) {
+	f.Add(uint8(8), uint16(4), uint8(4))
+	f.Add(uint8(14), uint16(24), uint8(5))
+	f.Add(uint8(17), uint16(3), uint8(1))
+	f.Fuzz(func(t *testing.T, nRaw uint8, kRaw uint16, rackRaw uint8) {
+		n := int(nRaw)%48 + 1
+		k := int(kRaw)%120 + 1
+		rackSize := int(rackRaw)%n + 1
+		rackOf := make([]int, n)
+		for i := range rackOf {
+			rackOf[i] = i / rackSize
+		}
+		p := HybridGen{RackOf: rackOf}.Plan(n, k)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("n=%d k=%d rack=%d: %v", n, k, rackSize, err)
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package schedule
+
+// sequentialGen implements the paper's baseline: the root pushes the whole
+// message to each receiver in turn. One block moves per round, so the root's
+// NIC carries N·B bytes in total while every receiver NIC carries only B —
+// the "hot spot at the sender" of §4.3.
+type sequentialGen struct{}
+
+func (sequentialGen) Name() string { return Sequential.String() }
+
+func (sequentialGen) Plan(nodes, blocks int) Plan {
+	checkArgs(nodes, blocks)
+	p := Plan{Nodes: nodes, Blocks: blocks}
+	round := 0
+	for to := 1; to < nodes; to++ {
+		for b := 0; b < blocks; b++ {
+			p.Transfers = append(p.Transfers, Transfer{Round: round, From: 0, To: to, Block: b})
+			round++
+		}
+	}
+	return p
+}
+
+// chainGen implements the bucket brigade of §4.3: each inner receiver relays
+// blocks down the chain as they arrive. Relayers use full duplex bandwidth,
+// but a node i sits idle for i rounds before its first block arrives.
+type chainGen struct{}
+
+func (chainGen) Name() string { return Chain.String() }
+
+func (chainGen) Plan(nodes, blocks int) Plan {
+	checkArgs(nodes, blocks)
+	p := Plan{Nodes: nodes, Blocks: blocks}
+	for from := 0; from < nodes-1; from++ {
+		for b := 0; b < blocks; b++ {
+			p.Transfers = append(p.Transfers, Transfer{
+				Round: b + from,
+				From:  from,
+				To:    from + 1,
+				Block: b,
+			})
+		}
+	}
+	return p
+}
+
+// binomialTreeGen implements §4.3's whole-message binomial tree: at tree step
+// s, every node holding the message forwards all of it to the rank 2^s above
+// its own. Latency beats sequential send, but inner transfers cannot start
+// until the outer ones finish, so large messages waste link time.
+type binomialTreeGen struct{}
+
+func (binomialTreeGen) Name() string { return BinomialTree.String() }
+
+func (binomialTreeGen) Plan(nodes, blocks int) Plan {
+	checkArgs(nodes, blocks)
+	p := Plan{Nodes: nodes, Blocks: blocks}
+	for s, round := 0, 0; 1<<s < nodes; s++ {
+		for from := 0; from < 1<<s && from < nodes; from++ {
+			to := from + 1<<s
+			if to >= nodes {
+				continue
+			}
+			for b := 0; b < blocks; b++ {
+				p.Transfers = append(p.Transfers, Transfer{
+					Round: round + b,
+					From:  from,
+					To:    to,
+					Block: b,
+				})
+			}
+		}
+		round += blocks
+	}
+	return p
+}
+
+// mpiGen models the MVAPICH MPI_Bcast comparator of Figure 4: for large
+// messages MVAPICH broadcasts by a binomial-tree scatter of message chunks
+// followed by a ring allgather. Chunks here are contiguous runs of blocks.
+type mpiGen struct{}
+
+func (mpiGen) Name() string { return MPIScatterAllgather.String() }
+
+func (mpiGen) Plan(nodes, blocks int) Plan {
+	checkArgs(nodes, blocks)
+	p := Plan{Nodes: nodes, Blocks: blocks}
+	if nodes == 1 {
+		return p
+	}
+	// Chunk c is the block range owned by rank c after the scatter.
+	chunkLo := func(c int) int { return c * blocks / nodes }
+	chunkHi := func(c int) int { return (c + 1) * blocks / nodes }
+
+	// holds tracks which blocks each rank has, because scatter
+	// intermediaries retain the chunks they relay and must not receive
+	// them again during the allgather.
+	holds := make([]map[int]bool, nodes)
+	for i := range holds {
+		holds[i] = make(map[int]bool)
+	}
+	for b := 0; b < blocks; b++ {
+		holds[0][b] = true
+	}
+
+	// Binomial scatter on a power-of-two superstructure: at step s a holder
+	// of chunk range [lo,hi) splits it, keeping the low half and sending the
+	// high half to rank lo+span/2 — the standard MPI scatter recursion.
+	round := 0
+	type job struct{ owner, lo, hi int } // chunk range [lo,hi) held at owner
+	jobs := []job{{owner: 0, lo: 0, hi: nodes}}
+	for len(jobs) > 0 {
+		var next []job
+		maxBlocks := 0
+		for _, j := range jobs {
+			if j.hi-j.lo <= 1 {
+				continue
+			}
+			mid := (j.lo + j.hi + 1) / 2
+			dst := mid % nodes
+			n := 0
+			for c := mid; c < j.hi; c++ {
+				for b := chunkLo(c); b < chunkHi(c); b++ {
+					p.Transfers = append(p.Transfers, Transfer{
+						Round: round + n,
+						From:  j.owner,
+						To:    dst,
+						Block: b,
+					})
+					holds[dst][b] = true
+					n++
+				}
+			}
+			if n > maxBlocks {
+				maxBlocks = n
+			}
+			next = append(next, job{owner: j.owner, lo: j.lo, hi: mid})
+			next = append(next, job{owner: dst, lo: mid, hi: j.hi})
+		}
+		if maxBlocks == 0 {
+			break
+		}
+		round += maxBlocks
+		jobs = next
+	}
+
+	// Ring allgather: at step t, rank i forwards the chunk it received at
+	// step t−1 (initially its own) to rank (i+1) mod nodes, skipping the
+	// root, which needs nothing.
+	for t := 0; t < nodes-1; t++ {
+		maxBlocks := 0
+		for i := 0; i < nodes; i++ {
+			to := (i + 1) % nodes
+			if to == 0 {
+				continue
+			}
+			c := ((i-t)%nodes + nodes) % nodes
+			n := 0
+			for b := chunkLo(c); b < chunkHi(c); b++ {
+				if holds[to][b] {
+					continue
+				}
+				p.Transfers = append(p.Transfers, Transfer{
+					Round: round + n,
+					From:  i,
+					To:    to,
+					Block: b,
+				})
+				holds[to][b] = true
+				n++
+			}
+			if n > maxBlocks {
+				maxBlocks = n
+			}
+		}
+		round += maxBlocks
+		if maxBlocks == 0 {
+			round++
+		}
+	}
+	return p
+}

@@ -1,0 +1,66 @@
+package schedule
+
+// This file implements the §4.5 robustness analysis of the paper: slack
+// measures how much earlier a node received the block it forwards, i.e. how
+// much room a slightly-late node has to catch up, and the closed-form
+// bandwidth bound quantifies tolerance of one slow link.
+
+// Slack returns, for each transfer in the plan, tr.Round minus the round in
+// which tr.From received tr.Block. Transfers out of the root are skipped
+// (the root never receives). The result maps steady-state step numbers to
+// the slacks of the sends performed in them.
+func Slack(p Plan) map[int][]int {
+	recvRound := make(map[[2]int]int, len(p.Transfers))
+	for _, tr := range p.Transfers {
+		recvRound[[2]int{tr.To, tr.Block}] = tr.Round
+	}
+	out := make(map[int][]int)
+	for _, tr := range p.Transfers {
+		if tr.From == 0 {
+			continue
+		}
+		got, ok := recvRound[[2]int{tr.From, tr.Block}]
+		if !ok {
+			continue
+		}
+		out[tr.Round] = append(out[tr.Round], tr.Round-got)
+	}
+	return out
+}
+
+// AvgSlack returns the average slack over the relaying sends of step j
+// (§4.5's avg_slack(j)), and false if no relayer sends in that step.
+func AvgSlack(p Plan, j int) (float64, bool) {
+	slacks := Slack(p)[j]
+	if len(slacks) == 0 {
+		return 0, false
+	}
+	sum := 0
+	for _, s := range slacks {
+		sum += s
+	}
+	return float64(sum) / float64(len(slacks)), true
+}
+
+// SteadySteps returns the [l, l+k-2] step range the paper calls "steady" for
+// an n-node, k-block binomial pipeline.
+func SteadySteps(n, k int) (lo, hi int) {
+	l := log2Ceil(n)
+	return l, l + k - 2
+}
+
+// PredictedAvgSlack is the paper's closed form for the steady-state average
+// slack of the binomial pipeline: 2·(1 − (l−1)/(n−2)) with l = log₂ n.
+// It applies to power-of-two n ≥ 4.
+func PredictedAvgSlack(n int) float64 {
+	l := float64(log2Ceil(n))
+	return 2 * (1 - (l-1)/(float64(n)-2))
+}
+
+// SlowLinkBandwidthFraction is the paper's §4.5(2) lower bound on the
+// fraction of full bandwidth the binomial pipeline retains when a single
+// link is slowed from T to Tprime: l·T′ / (T + (l−1)·T′).
+func SlowLinkBandwidthFraction(n int, t, tprime float64) float64 {
+	l := float64(log2Ceil(n))
+	return l * tprime / (t + (l-1)*tprime)
+}

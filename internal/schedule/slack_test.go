@@ -1,0 +1,83 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlackMatchesPaperFormula(t *testing.T) {
+	// §4.5(3): for the power-of-two binomial pipeline, avg_slack(j) at any
+	// steady step j is the constant 2·(1 − (l−1)/(n−2)).
+	for _, n := range []int{8, 16, 32, 64} {
+		k := 40
+		p := New(BinomialPipeline).Plan(n, k)
+		want := PredictedAvgSlack(n)
+		lo, hi := SteadySteps(n, k)
+		for j := lo; j <= hi; j++ {
+			got, ok := AvgSlack(p, j)
+			if !ok {
+				t.Fatalf("n=%d: no relaying sends in steady step %d", n, j)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("n=%d step %d: avg slack = %v, want %v", n, j, got, want)
+			}
+		}
+	}
+}
+
+func TestPredictedAvgSlackApproachesTwo(t *testing.T) {
+	// For moderate n, log n ≪ n and the average slack approaches 2.
+	if got := PredictedAvgSlack(1024); got < 1.9 {
+		t.Errorf("PredictedAvgSlack(1024) = %v, want near 2", got)
+	}
+	if got := PredictedAvgSlack(4); got != 2*(1-1.0/2.0) {
+		t.Errorf("PredictedAvgSlack(4) = %v", got)
+	}
+}
+
+func TestSlackSkipsRootSends(t *testing.T) {
+	p := New(Sequential).Plan(3, 2)
+	if got := Slack(p); len(got) != 0 {
+		t.Errorf("sequential plan (root-only sends) has slack entries: %v", got)
+	}
+}
+
+func TestAvgSlackNoSenders(t *testing.T) {
+	p := New(BinomialPipeline).Plan(8, 5)
+	if _, ok := AvgSlack(p, 9999); ok {
+		t.Error("AvgSlack reported ok for a step with no sends")
+	}
+}
+
+func TestChainSlackIsOne(t *testing.T) {
+	// In a chain, every relayer forwards the block it received the round
+	// before: slack exactly 1, which is why chain send has no room to
+	// absorb delays.
+	p := New(Chain).Plan(8, 10)
+	for step, slacks := range Slack(p) {
+		for _, s := range slacks {
+			if s != 1 {
+				t.Fatalf("chain slack at step %d = %d, want 1", step, s)
+			}
+		}
+	}
+}
+
+func TestSlowLinkBandwidthFractionPaperExample(t *testing.T) {
+	// §4.5(2): T′ = T/2, n = 64 gives 85.6% (wire: 6·0.5/(1+5·0.5) = 6/7).
+	got := SlowLinkBandwidthFraction(64, 1.0, 0.5)
+	if math.Abs(got-6.0/7.0) > 1e-9 {
+		t.Errorf("fraction = %v, want 6/7 ≈ 0.857", got)
+	}
+	// A healthy link (T′ = T) retains full bandwidth.
+	if got := SlowLinkBandwidthFraction(64, 1.0, 1.0); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("fraction with equal links = %v, want 1", got)
+	}
+}
+
+func TestSteadySteps(t *testing.T) {
+	lo, hi := SteadySteps(8, 10)
+	if lo != 3 || hi != 11 {
+		t.Errorf("SteadySteps(8,10) = %d,%d, want 3,11", lo, hi)
+	}
+}

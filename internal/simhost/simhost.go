@@ -1,0 +1,147 @@
+// Package simhost assembles a complete simulated RDMC deployment: a simnet
+// cluster, one simnic provider plus control channel and host services per
+// node, and one protocol engine per node, all driven by a single virtual
+// clock. The benchmark harness and the public library's simulation
+// constructors build on it.
+package simhost
+
+import (
+	"fmt"
+	"time"
+
+	"rdmc/internal/core"
+	"rdmc/internal/rdma"
+	"rdmc/internal/rdma/simnic"
+	"rdmc/internal/simnet"
+)
+
+// Config describes a simulated deployment.
+type Config struct {
+	// Cluster is the hardware model (see simnet.ClusterConfig).
+	Cluster simnet.ClusterConfig
+	// CopyBandwidth models critical-path memory copies, in bytes per
+	// second. Zero selects 5 GB/s, matching the paper's Table 1 copy rate
+	// (1 MB in ≈215 µs).
+	CopyBandwidth float64
+	// Seed fixes the virtual run's randomness.
+	Seed int64
+	// Offload enables CORE-Direct-style NIC offload on every node
+	// (Figure 12's cross-channel mode).
+	Offload bool
+}
+
+// Grid is a simulated deployment of engines sharing one virtual clock.
+type Grid struct {
+	sim      *simnet.Sim
+	cluster  *simnet.Cluster
+	network  *simnic.Network
+	engines  []*core.Engine
+	handlers []func(from rdma.NodeID, m core.CtrlMsg)
+}
+
+// New builds the deployment.
+func New(cfg Config) (*Grid, error) {
+	if cfg.CopyBandwidth == 0 {
+		cfg.CopyBandwidth = 5e9
+	}
+	sim := simnet.NewSim(cfg.Seed)
+	cluster, err := simnet.NewCluster(sim, cfg.Cluster)
+	if err != nil {
+		return nil, fmt.Errorf("simhost: %w", err)
+	}
+	g := &Grid{
+		sim:      sim,
+		cluster:  cluster,
+		network:  simnic.NewNetwork(cluster),
+		handlers: make([]func(rdma.NodeID, core.CtrlMsg), cfg.Cluster.Nodes),
+	}
+	for i := 0; i < cfg.Cluster.Nodes; i++ {
+		id := rdma.NodeID(i)
+		provider := g.network.Provider(id)
+		provider.SetOffload(cfg.Offload)
+		ctrl := &gridControl{grid: g, local: id}
+		host := &gridHost{grid: g, local: id, copyBW: cfg.CopyBandwidth}
+		g.engines = append(g.engines, core.NewEngine(provider, ctrl, host))
+	}
+	return g, nil
+}
+
+// Sim returns the virtual clock.
+func (g *Grid) Sim() *simnet.Sim { return g.sim }
+
+// Cluster returns the simulated hardware.
+func (g *Grid) Cluster() *simnet.Cluster { return g.cluster }
+
+// Network returns the simulated NIC fabric, for components that share the
+// engines' providers (status tables, small-message groups).
+func (g *Grid) Network() *simnic.Network { return g.network }
+
+// Engine returns node i's protocol engine.
+func (g *Grid) Engine(i int) *core.Engine { return g.engines[i] }
+
+// Nodes returns the deployment size.
+func (g *Grid) Nodes() int { return len(g.engines) }
+
+// Run drains the event queue and returns the virtual end time in seconds.
+func (g *Grid) Run() float64 { return g.sim.Run() }
+
+// RunUntil executes events up to the virtual deadline (seconds), reporting
+// whether the queue drained.
+func (g *Grid) RunUntil(deadline float64) bool { return g.sim.RunUntil(deadline) }
+
+// FailNode injects a node crash (all its links break) and informs the
+// surviving engines' failure detectors, as the bootstrap mesh would.
+func (g *Grid) FailNode(i int) {
+	id := simnet.NodeID(i)
+	g.cluster.FailNode(id)
+	for j, e := range g.engines {
+		if j != i {
+			e.NotifyFailure(rdma.NodeID(i))
+		}
+	}
+}
+
+// gridControl carries control messages over the cluster's latency-only
+// channel, preserving per-sender order (simultaneous events fire in
+// scheduling order).
+type gridControl struct {
+	grid  *Grid
+	local rdma.NodeID
+}
+
+var _ core.Control = (*gridControl)(nil)
+
+// Send implements core.Control.
+func (c *gridControl) Send(to rdma.NodeID, m core.CtrlMsg) error {
+	src, dst := c.local, to
+	c.grid.cluster.Ctrl(simnet.NodeID(src), simnet.NodeID(dst), func() {
+		if h := c.grid.handlers[dst]; h != nil {
+			h(src, m)
+		}
+	})
+	return nil
+}
+
+// SetHandler implements core.Control.
+func (c *gridControl) SetHandler(fn func(from rdma.NodeID, m core.CtrlMsg)) {
+	c.grid.handlers[c.local] = fn
+}
+
+// gridHost provides virtual time and the memory-copy cost model.
+type gridHost struct {
+	grid   *Grid
+	local  rdma.NodeID
+	copyBW float64
+}
+
+var _ core.Host = (*gridHost)(nil)
+
+// Now implements core.Host.
+func (h *gridHost) Now() time.Duration { return h.grid.sim.NowDuration() }
+
+// ChargeCopy implements core.Host. The copy overlaps the transfer (§4.2), so
+// it does not occupy the protocol CPU; fn simply fires when the modelled
+// memcpy would finish.
+func (h *gridHost) ChargeCopy(n int, fn func()) {
+	h.grid.sim.After(float64(n)/h.copyBW, fn)
+}

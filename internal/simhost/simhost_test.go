@@ -1,0 +1,115 @@
+package simhost
+
+import (
+	"testing"
+	"time"
+
+	"rdmc/internal/core"
+	"rdmc/internal/rdma"
+	"rdmc/internal/simnet"
+)
+
+func testConfig(n int) Config {
+	return Config{
+		Cluster: simnet.ClusterConfig{
+			Nodes:         n,
+			LinkBandwidth: 12.5e9,
+			Latency:       1.5e-6,
+			CPU:           simnet.DefaultCPUConfig(),
+		},
+		Seed: 1,
+	}
+}
+
+func TestGridWiresEngines(t *testing.T) {
+	grid, err := New(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.Nodes() != 3 {
+		t.Fatalf("nodes = %d", grid.Nodes())
+	}
+	for i := 0; i < 3; i++ {
+		if got := grid.Engine(i).NodeID(); got != rdma.NodeID(i) {
+			t.Errorf("engine %d has node id %d", i, got)
+		}
+	}
+}
+
+func TestGridControlPreservesSenderOrder(t *testing.T) {
+	grid, err := New(testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := &gridControl{grid: grid, local: 0}
+	sink := &gridControl{grid: grid, local: 1}
+	var seqs []int
+	sink.SetHandler(func(from rdma.NodeID, m core.CtrlMsg) {
+		if from != 0 {
+			t.Errorf("from = %d", from)
+		}
+		seqs = append(seqs, m.Seq)
+	})
+	for i := 0; i < 10; i++ {
+		if err := ctrl.Send(1, core.CtrlMsg{Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grid.Run()
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("control messages reordered: %v", seqs)
+		}
+	}
+}
+
+func TestGridHostClockAndCopy(t *testing.T) {
+	grid, err := New(Config{
+		Cluster: simnet.ClusterConfig{
+			Nodes:         1,
+			LinkBandwidth: 1e9,
+			CPU:           simnet.CPUConfig{Mode: simnet.ModePolling},
+		},
+		CopyBandwidth: 1e6, // 1 MB/s so the copy charge is visible
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := &gridHost{grid: grid, local: 0, copyBW: 1e6}
+	var at time.Duration
+	host.ChargeCopy(1e6, func() { at = host.Now() })
+	grid.Run()
+	if at != time.Second {
+		t.Errorf("copy of 1 MB at 1 MB/s finished at %v, want 1s", at)
+	}
+}
+
+func TestGridFailNodeNotifiesEngines(t *testing.T) {
+	grid, err := New(testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []rdma.NodeID{0, 1, 2}
+	var failures int
+	for i := 0; i < 3; i++ {
+		_, err := grid.Engine(i).CreateGroup(1, members, core.GroupConfig{
+			BlockSize: 1024,
+			Callbacks: core.Callbacks{Failure: func(error) { failures++ }},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	grid.FailNode(2)
+	grid.Run()
+	if failures != 2 {
+		t.Errorf("failure callbacks = %d, want 2 survivors", failures)
+	}
+}
+
+func TestGridRejectsBadCluster(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}

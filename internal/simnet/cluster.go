@@ -1,0 +1,228 @@
+package simnet
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a host within a simulated cluster.
+type NodeID int
+
+// ClusterConfig describes the modelled hardware. Bandwidths are in bytes per
+// second and latencies in seconds. The zero value is not usable; start from
+// a cluster model in package bench or fill every field.
+type ClusterConfig struct {
+	// Nodes is the number of hosts.
+	Nodes int
+	// LinkBandwidth is the full-duplex per-direction NIC capacity.
+	LinkBandwidth float64
+	// Latency is the one-way message latency (propagation + NIC pipeline)
+	// charged to every transfer and control message.
+	Latency float64
+	// CPU configures the per-node software cost model.
+	CPU CPUConfig
+	// RackSize, when non-zero, arranges nodes into racks of this size
+	// connected by a shared TOR trunk; zero models full bisection
+	// bandwidth where only NIC ports constrain throughput.
+	RackSize int
+	// TrunkBandwidth is the per-rack uplink (and downlink) capacity when
+	// RackSize is non-zero. A value below RackSize*LinkBandwidth models an
+	// oversubscribed TOR, as on the paper's Apt cluster.
+	TrunkBandwidth float64
+	// RetryTimeout is the virtual time after which a transfer crossing a
+	// broken link surfaces a connection-break completion, modelling NIC
+	// retry exhaustion.
+	RetryTimeout float64
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c ClusterConfig) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("simnet: cluster needs at least 1 node, got %d", c.Nodes)
+	case c.LinkBandwidth <= 0:
+		return fmt.Errorf("simnet: link bandwidth must be positive, got %g", c.LinkBandwidth)
+	case c.Latency < 0:
+		return fmt.Errorf("simnet: latency must be non-negative, got %g", c.Latency)
+	case c.RackSize < 0:
+		return fmt.Errorf("simnet: rack size must be non-negative, got %d", c.RackSize)
+	case c.RackSize > 0 && c.TrunkBandwidth <= 0:
+		return fmt.Errorf("simnet: two-tier topology needs a positive trunk bandwidth")
+	}
+	return nil
+}
+
+// Cluster is a set of simulated hosts joined by a fabric.
+type Cluster struct {
+	sim    *Sim
+	fabric *Fabric
+	cfg    ClusterConfig
+	nodes  []*node
+
+	slow     map[[2]NodeID]*Resource
+	broken   map[[2]NodeID]bool
+	inFlight map[*Flow]transferState
+}
+
+type node struct {
+	id       NodeID
+	tx, rx   *Resource
+	cpu      *CPU
+	rack     int
+	rackUp   *Resource
+	rackDown *Resource
+	down     bool
+}
+
+type transferState struct {
+	src, dst NodeID
+	onDone   func(broken bool)
+}
+
+// NewCluster builds a cluster over the given simulation engine.
+func NewCluster(sim *Sim, cfg ClusterConfig) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RetryTimeout == 0 {
+		cfg.RetryTimeout = 1e-3
+	}
+	c := &Cluster{
+		sim:      sim,
+		fabric:   NewFabric(sim),
+		cfg:      cfg,
+		slow:     make(map[[2]NodeID]*Resource),
+		broken:   make(map[[2]NodeID]bool),
+		inFlight: make(map[*Flow]transferState),
+	}
+	var uplinks, downlinks []*Resource
+	if cfg.RackSize > 0 {
+		racks := (cfg.Nodes + cfg.RackSize - 1) / cfg.RackSize
+		for r := 0; r < racks; r++ {
+			uplinks = append(uplinks, NewResource(fmt.Sprintf("rack%d.up", r), cfg.TrunkBandwidth))
+			downlinks = append(downlinks, NewResource(fmt.Sprintf("rack%d.down", r), cfg.TrunkBandwidth))
+		}
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &node{
+			id:  NodeID(i),
+			tx:  NewResource(fmt.Sprintf("node%d.tx", i), cfg.LinkBandwidth),
+			rx:  NewResource(fmt.Sprintf("node%d.rx", i), cfg.LinkBandwidth),
+			cpu: NewCPU(sim, cfg.CPU),
+		}
+		if cfg.RackSize > 0 {
+			n.rack = i / cfg.RackSize
+			n.rackUp = uplinks[n.rack]
+			n.rackDown = downlinks[n.rack]
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	return c, nil
+}
+
+// Sim returns the simulation engine the cluster runs on.
+func (c *Cluster) Sim() *Sim { return c.sim }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() ClusterConfig { return c.cfg }
+
+// CPU returns the CPU model of the given node.
+func (c *Cluster) CPU(id NodeID) *CPU { return c.nodes[id].cpu }
+
+// Rack returns the rack index of a node (always 0 under full bisection).
+func (c *Cluster) Rack(id NodeID) int { return c.nodes[id].rack }
+
+// SetLinkBandwidth installs a dedicated capacity limit on the directed pair
+// src→dst, modelling a slow link (§4.5's T′ experiment). A zero bandwidth
+// removes the override.
+func (c *Cluster) SetLinkBandwidth(src, dst NodeID, bandwidth float64) {
+	key := [2]NodeID{src, dst}
+	if bandwidth <= 0 {
+		delete(c.slow, key)
+		return
+	}
+	c.slow[key] = NewResource(fmt.Sprintf("slow:%d->%d", src, dst), bandwidth)
+}
+
+// BreakLink severs the directed pair src→dst. In-flight transfers on the pair
+// surface broken completions after the retry timeout; new transfers break
+// immediately after it.
+func (c *Cluster) BreakLink(src, dst NodeID) {
+	c.broken[[2]NodeID{src, dst}] = true
+	c.breakMatching(func(t transferState) bool { return t.src == src && t.dst == dst })
+}
+
+// FailNode takes a host down: every transfer to or from it breaks.
+func (c *Cluster) FailNode(id NodeID) {
+	c.nodes[id].down = true
+	c.breakMatching(func(t transferState) bool { return t.src == id || t.dst == id })
+}
+
+// NodeFailed reports whether the host was failed.
+func (c *Cluster) NodeFailed(id NodeID) bool { return c.nodes[id].down }
+
+func (c *Cluster) breakMatching(match func(transferState) bool) {
+	for fl, st := range c.inFlight {
+		if !match(st) {
+			continue
+		}
+		c.fabric.Cancel(fl)
+		delete(c.inFlight, fl)
+		done := st.onDone
+		c.sim.After(c.cfg.RetryTimeout, func() { done(true) })
+	}
+}
+
+func (c *Cluster) pairBroken(src, dst NodeID) bool {
+	return c.broken[[2]NodeID{src, dst}] || c.nodes[src].down || c.nodes[dst].down
+}
+
+// Transfer moves size bytes from src to dst. onDone fires at arrival time
+// with broken=false, or after the retry timeout with broken=true if the path
+// failed. Self-transfers complete after the control latency without
+// consuming fabric capacity.
+func (c *Cluster) Transfer(src, dst NodeID, size float64, onDone func(broken bool)) {
+	if c.pairBroken(src, dst) {
+		c.sim.After(c.cfg.RetryTimeout, func() { onDone(true) })
+		return
+	}
+	if src == dst {
+		c.sim.After(c.cfg.Latency, func() { onDone(false) })
+		return
+	}
+	path := c.path(src, dst)
+	c.sim.After(c.cfg.Latency, func() {
+		if c.pairBroken(src, dst) {
+			c.sim.After(c.cfg.RetryTimeout, func() { onDone(true) })
+			return
+		}
+		var fl *Flow
+		fl = c.fabric.StartFlow(size, path, func() {
+			delete(c.inFlight, fl)
+			onDone(false)
+		})
+		c.inFlight[fl] = transferState{src: src, dst: dst, onDone: onDone}
+	})
+}
+
+// Ctrl delivers a small control message (latency only, no bandwidth cost).
+// Broken paths silently drop it, as a lost datagram would be.
+func (c *Cluster) Ctrl(src, dst NodeID, onDeliver func()) {
+	if c.pairBroken(src, dst) {
+		return
+	}
+	c.sim.After(c.cfg.Latency, onDeliver)
+}
+
+func (c *Cluster) path(src, dst NodeID) []*Resource {
+	s, d := c.nodes[src], c.nodes[dst]
+	path := make([]*Resource, 0, 5)
+	path = append(path, s.tx)
+	if extra, ok := c.slow[[2]NodeID{src, dst}]; ok {
+		path = append(path, extra)
+	}
+	if c.cfg.RackSize > 0 && s.rack != d.rack {
+		path = append(path, s.rackUp, d.rackDown)
+	}
+	path = append(path, d.rx)
+	return path
+}

@@ -1,0 +1,330 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// completionSlack is the residual byte count below which a flow is considered
+// finished; it absorbs float64 rounding across rate recomputations.
+const completionSlack = 1e-3
+
+// Resource is a capacity-limited element of the fabric: a NIC transmit port,
+// a NIC receive port, or a shared switch trunk. Concurrent flows crossing a
+// resource share its capacity max-min fairly.
+type Resource struct {
+	name     string
+	capacity float64 // bytes per second
+	flows    []*Flow
+}
+
+// NewResource returns a resource with the given capacity in bytes per second.
+func NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("simnet: resource %q capacity must be positive", name))
+	}
+	return &Resource{name: name, capacity: capacity}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the resource capacity in bytes per second.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// SetCapacity changes the capacity. Rates of flows crossing the resource are
+// re-allocated on the next fabric recomputation touching it.
+func (r *Resource) SetCapacity(c float64) { r.capacity = c }
+
+// ActiveFlows returns the number of flows currently crossing the resource.
+func (r *Resource) ActiveFlows() int { return len(r.flows) }
+
+func (r *Resource) addFlow(f *Flow) { r.flows = append(r.flows, f) }
+
+func (r *Resource) removeFlow(f *Flow) {
+	for i, g := range r.flows {
+		if g == f {
+			r.flows = append(r.flows[:i], r.flows[i+1:]...)
+			return
+		}
+	}
+}
+
+// Flow is a bulk transfer in progress across a path of resources.
+type Flow struct {
+	id         int64
+	remaining  float64 // bytes left at lastUpdate
+	rate       float64 // bytes per second under the current allocation
+	path       []*Resource
+	lastUpdate float64 // virtual time at which remaining was settled
+	onDone     func()
+	doneEv     *Event
+	finished   bool
+
+	// waterfill scratch state
+	fixed bool
+}
+
+// Rate returns the flow's current allocated rate in bytes per second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Fabric owns all flows and performs incremental max-min fair allocation.
+// When a flow starts or finishes, only the connected component of flows that
+// transitively share resources with it is re-allocated, which keeps large
+// simulations (hundreds of nodes, each with an isolated sender/receiver pair)
+// cheap.
+type Fabric struct {
+	sim    *Sim
+	nextID int64
+}
+
+// NewFabric returns a fabric driven by the given simulation clock.
+func NewFabric(sim *Sim) *Fabric {
+	return &Fabric{sim: sim}
+}
+
+// StartFlow begins transferring size bytes across path. onDone runs at the
+// virtual time the last byte arrives. A zero-size flow completes after one
+// event-loop tick.
+func (f *Fabric) StartFlow(size float64, path []*Resource, onDone func()) *Flow {
+	if len(path) == 0 {
+		panic("simnet: flow path must contain at least one resource")
+	}
+	fl := &Flow{
+		id:         f.nextID,
+		remaining:  size,
+		path:       path,
+		lastUpdate: f.sim.Now(),
+		onDone:     onDone,
+	}
+	f.nextID++
+	comp := f.component(fl.path)
+	f.settle(comp)
+	for _, r := range fl.path {
+		r.addFlow(fl)
+	}
+	comp = append(comp, fl)
+	f.reallocate(comp)
+	return fl
+}
+
+// Cancel aborts a flow in progress (used for link/node failure injection).
+// Its onDone callback never runs.
+func (f *Fabric) Cancel(fl *Flow) {
+	if fl.finished {
+		return
+	}
+	fl.finished = true
+	if fl.doneEv != nil {
+		fl.doneEv.Cancel()
+	}
+	comp := f.component(fl.path)
+	f.settle(comp)
+	for _, r := range fl.path {
+		r.removeFlow(fl)
+	}
+	f.reallocate(remove(comp, fl))
+}
+
+func (f *Fabric) finish(fl *Flow) {
+	if fl.finished {
+		return
+	}
+	comp := f.component(fl.path)
+	f.settle(comp)
+	if !f.finishable(fl) {
+		// A later reallocation slowed this flow down; reschedule.
+		f.reallocate(comp)
+		return
+	}
+	fl.finished = true
+	for _, r := range fl.path {
+		r.removeFlow(fl)
+	}
+	f.reallocate(remove(comp, fl))
+	fl.onDone()
+}
+
+// component gathers every flow that transitively shares a resource with the
+// given path.
+func (f *Fabric) component(path []*Resource) []*Flow {
+	var (
+		flows     []*Flow
+		seenRes   = make(map[*Resource]bool, len(path)*2)
+		seenFlow  = make(map[*Flow]bool)
+		resources = append([]*Resource(nil), path...)
+	)
+	for _, r := range resources {
+		seenRes[r] = true
+	}
+	for len(resources) > 0 {
+		r := resources[len(resources)-1]
+		resources = resources[:len(resources)-1]
+		for _, fl := range r.flows {
+			if seenFlow[fl] {
+				continue
+			}
+			seenFlow[fl] = true
+			flows = append(flows, fl)
+			for _, rr := range fl.path {
+				if !seenRes[rr] {
+					seenRes[rr] = true
+					resources = append(resources, rr)
+				}
+			}
+		}
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i].id < flows[j].id })
+	return flows
+}
+
+// settle charges each flow for progress made at its current rate since its
+// last settlement.
+func (f *Fabric) settle(flows []*Flow) {
+	now := f.sim.Now()
+	for _, fl := range flows {
+		if dt := now - fl.lastUpdate; dt > 0 {
+			fl.remaining -= fl.rate * dt
+			if fl.remaining < 0 {
+				fl.remaining = 0
+			}
+		}
+		fl.lastUpdate = now
+	}
+}
+
+// reallocate runs max-min waterfilling over the component and reschedules
+// each member flow's completion event.
+func (f *Fabric) reallocate(flows []*Flow) {
+	if len(flows) == 0 {
+		return
+	}
+	resSet := make(map[*Resource]*resState)
+	var resources []*Resource
+	prevRates := make([]float64, len(flows))
+	for i, fl := range flows {
+		prevRates[i] = fl.rate
+		fl.fixed = false
+		for _, r := range fl.path {
+			st := resSet[r]
+			if st == nil {
+				st = &resState{cap: r.capacity}
+				resSet[r] = st
+				resources = append(resources, r)
+			}
+			st.count++
+		}
+	}
+	sort.Slice(resources, func(i, j int) bool {
+		return resSet[resources[i]].less(resSet[resources[j]], resources[i], resources[j])
+	})
+
+	unfixed := len(flows)
+	for unfixed > 0 {
+		// Find the bottleneck: the resource offering the smallest fair share.
+		var (
+			bottleneck *Resource
+			share      = math.Inf(1)
+		)
+		for _, r := range resources {
+			st := resSet[r]
+			if st.count == 0 {
+				continue
+			}
+			if s := st.cap / float64(st.count); s < share {
+				share = s
+				bottleneck = r
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		for _, fl := range bottleneck.flows {
+			if fl.fixed {
+				continue
+			}
+			fl.fixed = true
+			fl.rate = share
+			unfixed--
+			for _, r := range fl.path {
+				st := resSet[r]
+				st.cap -= share
+				if st.cap < 0 {
+					st.cap = 0
+				}
+				st.count--
+			}
+		}
+	}
+
+	for i, fl := range flows {
+		// A flow whose rate is unchanged keeps its completion event: the
+		// settle charged it up to now at the same rate, so the absolute
+		// completion time is identical. Skipping the reschedule keeps the
+		// event heap free of cancelled-event churn in large simulations.
+		if fl.doneEv != nil && !fl.doneEv.cancelled && sameRate(fl.rate, prevRates[i]) {
+			continue
+		}
+		f.scheduleCompletion(fl)
+	}
+}
+
+// sameRate compares rates with a relative tolerance tight enough that any
+// completion-time error is absorbed by the finishable slack.
+func sameRate(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= 1e-12*a
+}
+
+func (f *Fabric) scheduleCompletion(fl *Flow) {
+	if fl.doneEv != nil {
+		fl.doneEv.Cancel()
+		fl.doneEv = nil
+	}
+	if fl.finished {
+		return
+	}
+	var eta float64
+	if !f.finishable(fl) {
+		eta = fl.remaining / fl.rate
+	}
+	target := fl
+	fl.doneEv = f.sim.After(eta, func() { f.finish(target) })
+}
+
+// finishable reports whether a flow's residual bytes are beyond the clock's
+// ability to resolve: either inside the byte slack, or smaller than what a
+// few representable virtual-time ticks can transfer at the flow's rate.
+// Without the tick guard, accumulated float64 rounding can leave a residue
+// that reschedules a completion for "now + less than one ULP", which never
+// advances the clock and livelocks the simulation.
+func (f *Fabric) finishable(fl *Flow) bool {
+	if fl.remaining <= completionSlack {
+		return true
+	}
+	tick := math.Nextafter(f.sim.now, math.Inf(1)) - f.sim.now
+	return fl.remaining <= fl.rate*tick*4
+}
+
+type resState struct {
+	cap   float64
+	count int
+}
+
+func (s *resState) less(o *resState, a, b *Resource) bool { return a.name < b.name }
+
+func remove(flows []*Flow, fl *Flow) []*Flow {
+	for i, g := range flows {
+		if g == fl {
+			return append(flows[:i:i], flows[i+1:]...)
+		}
+	}
+	return flows
+}

@@ -1,0 +1,172 @@
+// Package simnet is a deterministic discrete-event network simulator used as
+// the substitute for RDMA hardware in this reproduction of RDMC (DSN 2018).
+//
+// It has three layers:
+//
+//   - an event engine with a virtual clock (this file),
+//   - a fluid-flow fabric that models full-duplex NIC ports, shared switch
+//     trunks, and max-min fair bandwidth allocation (fluid.go), which is the
+//     steady state that datacenter congestion control (DCQCN, TIMELY)
+//     converges to, and
+//   - a per-node CPU model that accounts for software overheads, completion
+//     delivery modes (polling / interrupt / hybrid), and injected scheduling
+//     delays (cpu.go).
+//
+// All time is float64 seconds of virtual time. A simulation run is fully
+// deterministic for a fixed seed: simultaneous events fire in the order they
+// were scheduled.
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Sim is a discrete-event simulation engine with a virtual clock.
+type Sim struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	rng    *rand.Rand
+}
+
+// NewSim returns an engine whose clock starts at zero. The seed fixes all
+// randomness used by delay injectors and workload generators attached to it.
+func NewSim(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// NowDuration returns the current virtual time as a time.Duration.
+func (s *Sim) NowDuration() time.Duration {
+	return time.Duration(s.now * float64(time.Second))
+}
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// runs the event at the current time (events never travel backwards).
+func (s *Sim) At(t float64, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	ev := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds of virtual time from now.
+func (s *Sim) After(d float64, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (s *Sim) Run() float64 {
+	for s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with time ≤ deadline; remaining events stay queued.
+// It reports whether the queue was drained.
+func (s *Sim) RunUntil(deadline float64) bool {
+	for {
+		ev := s.peek()
+		if ev == nil {
+			return true
+		}
+		if ev.time > deadline {
+			s.now = deadline
+			return false
+		}
+		s.Step()
+	}
+}
+
+// Step executes the single earliest pending event. It reports whether an
+// event was executed.
+func (s *Sim) Step() bool {
+	for {
+		if s.events.Len() == 0 {
+			return false
+		}
+		ev, ok := heap.Pop(&s.events).(*Event)
+		if !ok || ev.cancelled {
+			continue
+		}
+		s.now = ev.time
+		ev.fn()
+		return true
+	}
+}
+
+// Pending reports the number of live queued events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Sim) peek() *Event {
+	for s.events.Len() > 0 {
+		if ev := s.events[0]; !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}
+
+// Event is a handle to a scheduled callback; it can be cancelled before it
+// fires.
+type Event struct {
+	time      float64
+	seq       int64
+	fn        func()
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired event is
+// a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Time returns the virtual time the event is scheduled for.
+func (e *Event) Time() float64 { return e.time }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if ok {
+		*h = append(*h, ev)
+	}
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,114 @@
+package simnet
+
+import (
+	"testing"
+)
+
+func TestSimRunsEventsInTimeOrder(t *testing.T) {
+	s := NewSim(1)
+	var got []int
+	s.At(3.0, func() { got = append(got, 3) })
+	s.At(1.0, func() { got = append(got, 1) })
+	s.At(2.0, func() { got = append(got, 2) })
+	end := s.Run()
+	if end != 3.0 {
+		t.Errorf("end time = %v, want 3.0", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSimTieBreaksBySchedulingOrder(t *testing.T) {
+	s := NewSim(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1.0, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("simultaneous events out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestSimAfterIsRelative(t *testing.T) {
+	s := NewSim(1)
+	var at float64
+	s.At(5.0, func() {
+		s.After(2.5, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 7.5 {
+		t.Errorf("After fired at %v, want 7.5", at)
+	}
+}
+
+func TestSimPastEventRunsNow(t *testing.T) {
+	s := NewSim(1)
+	var at float64 = -1
+	s.At(5.0, func() {
+		s.At(1.0, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 5.0 {
+		t.Errorf("past event fired at %v, want clamped to 5.0", at)
+	}
+}
+
+func TestSimCancelledEventDoesNotFire(t *testing.T) {
+	s := NewSim(1)
+	fired := false
+	ev := s.At(1.0, func() { fired = true })
+	ev.Cancel()
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestSimRunUntilStopsAtDeadline(t *testing.T) {
+	s := NewSim(1)
+	var fired []float64
+	s.At(1.0, func() { fired = append(fired, 1.0) })
+	s.At(3.0, func() { fired = append(fired, 3.0) })
+	drained := s.RunUntil(2.0)
+	if drained {
+		t.Error("RunUntil reported drained with a pending event")
+	}
+	if len(fired) != 1 || fired[0] != 1.0 {
+		t.Errorf("fired = %v, want [1.0]", fired)
+	}
+	if s.Now() != 2.0 {
+		t.Errorf("Now = %v, want deadline 2.0", s.Now())
+	}
+	if !s.RunUntil(10.0) {
+		t.Error("second RunUntil should drain the queue")
+	}
+	if len(fired) != 2 {
+		t.Errorf("fired = %v, want both events", fired)
+	}
+}
+
+func TestSimPendingCountsLiveEvents(t *testing.T) {
+	s := NewSim(1)
+	s.At(1, func() {})
+	ev := s.At(2, func() {})
+	ev.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Errorf("Pending = %d, want 1", got)
+	}
+}
+
+func TestSimDeterministicRand(t *testing.T) {
+	a := NewSim(42).Rand().Int63()
+	b := NewSim(42).Rand().Int63()
+	if a != b {
+		t.Error("same seed produced different random streams")
+	}
+}

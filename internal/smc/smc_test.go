@@ -1,0 +1,179 @@
+package smc
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rdmc/internal/rdma"
+	"rdmc/internal/rdma/simnic"
+	"rdmc/internal/simnet"
+)
+
+// testNet builds an n-node simulated network with SMC groups on every node.
+func testNet(t *testing.T, n int, cfg Config) (*simnet.Sim, []*Group, [][]string) {
+	t.Helper()
+	sim := simnet.NewSim(1)
+	cluster, err := simnet.NewCluster(sim, simnet.ClusterConfig{
+		Nodes:         n,
+		LinkBandwidth: 12.5e9,
+		Latency:       1.5e-6,
+		CPU:           simnet.CPUConfig{Mode: simnet.ModePolling},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := simnic.NewNetwork(cluster)
+	ids := make([]rdma.NodeID, n)
+	for i := range ids {
+		ids[i] = rdma.NodeID(i)
+	}
+	groups := make([]*Group, n)
+	delivered := make([][]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		provider := network.Provider(ids[i])
+		provider.SetHandler(func(c rdma.Completion) {
+			if groups[i] != nil {
+				groups[i].HandleCompletion(c)
+			}
+		})
+		g, err := New(provider, 1, ids, cfg, Callbacks{
+			Message: func(seq uint64, data []byte) {
+				delivered[i] = append(delivered[i], fmt.Sprintf("%d:%s", seq, data))
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[i] = g
+	}
+	return sim, groups, delivered
+}
+
+func TestSMCDeliversInOrderToAllReceivers(t *testing.T) {
+	sim, groups, delivered := testNet(t, 4, Config{SlotSize: 64, Slots: 8})
+	for i := 0; i < 20; i++ {
+		if err := groups[0].Send([]byte(fmt.Sprintf("m%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	for r := 1; r < 4; r++ {
+		if len(delivered[r]) != 20 {
+			t.Fatalf("receiver %d got %d of 20", r, len(delivered[r]))
+		}
+		for i, got := range delivered[r] {
+			want := fmt.Sprintf("%d:m%02d", i, i)
+			if got != want {
+				t.Fatalf("receiver %d message %d = %q, want %q", r, i, got, want)
+			}
+		}
+	}
+	if len(delivered[0]) != 0 {
+		t.Error("sender delivered to itself")
+	}
+}
+
+func TestSMCRingWrapsAndFlowControls(t *testing.T) {
+	// Far more messages than ring slots: sends must queue and drain.
+	sim, groups, delivered := testNet(t, 3, Config{SlotSize: 16, Slots: 4})
+	const total = 200
+	for i := 0; i < total; i++ {
+		if err := groups[0].Send([]byte(fmt.Sprintf("%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	for r := 1; r < 3; r++ {
+		if len(delivered[r]) != total {
+			t.Fatalf("receiver %d got %d of %d", r, len(delivered[r]), total)
+		}
+	}
+}
+
+func TestSMCSenderCallback(t *testing.T) {
+	sim := simnet.NewSim(1)
+	cluster, err := simnet.NewCluster(sim, simnet.ClusterConfig{
+		Nodes: 2, LinkBandwidth: 1e9, CPU: simnet.CPUConfig{Mode: simnet.ModePolling},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := simnic.NewNetwork(cluster)
+	ids := []rdma.NodeID{0, 1}
+
+	var sent []uint64
+	groups := make([]*Group, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		p := network.Provider(ids[i])
+		p.SetHandler(func(c rdma.Completion) {
+			if groups[i] != nil {
+				groups[i].HandleCompletion(c)
+			}
+		})
+		g, err := New(p, 1, ids, Config{}, Callbacks{
+			Sent: func(seq uint64) { sent = append(sent, seq) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[i] = g
+	}
+	for i := 0; i < 3; i++ {
+		if err := groups[0].Send([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	if len(sent) != 3 || sent[0] != 0 || sent[2] != 2 {
+		t.Errorf("sent callbacks = %v", sent)
+	}
+}
+
+func TestSMCSendValidation(t *testing.T) {
+	_, groups, _ := testNet(t, 2, Config{SlotSize: 8, Slots: 2})
+	if err := groups[1].Send([]byte("x")); err == nil {
+		t.Error("non-sender Send succeeded")
+	}
+	if err := groups[0].Send(nil); err == nil {
+		t.Error("empty message accepted")
+	}
+	if err := groups[0].Send(bytes.Repeat([]byte("x"), 9)); err == nil {
+		t.Error("oversize message accepted")
+	}
+}
+
+func TestSMCNewValidation(t *testing.T) {
+	sim := simnet.NewSim(1)
+	cluster, err := simnet.NewCluster(sim, simnet.ClusterConfig{
+		Nodes: 2, LinkBandwidth: 1e9, CPU: simnet.CPUConfig{Mode: simnet.ModePolling},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := simnic.NewNetwork(cluster).Provider(0)
+	p.SetHandler(func(rdma.Completion) {})
+	if _, err := New(p, 1, []rdma.NodeID{0}, Config{}, Callbacks{}); err == nil {
+		t.Error("single-member group accepted")
+	}
+	if _, err := New(p, 1<<31, []rdma.NodeID{0, 1}, Config{}, Callbacks{}); err == nil {
+		t.Error("oversized group id accepted")
+	}
+	if _, err := New(p, 1, []rdma.NodeID{5, 6}, Config{}, Callbacks{}); err == nil {
+		t.Error("non-member create accepted")
+	}
+}
+
+func TestSMCCompletionRouting(t *testing.T) {
+	_, groups, _ := testNet(t, 2, Config{})
+	// A completion for a different group id is not consumed.
+	if groups[0].HandleCompletion(rdma.Completion{Token: 99 << 32}) {
+		t.Error("foreign completion consumed")
+	}
+	// An RDMC-style token (bit 31 clear) is not consumed either.
+	if groups[0].HandleCompletion(rdma.Completion{Token: 1 << 32}) {
+		t.Error("non-SMC completion consumed")
+	}
+}

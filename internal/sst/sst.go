@@ -1,0 +1,152 @@
+// Package sst implements a shared state table in the style Derecho layers
+// over RDMC (paper §4.6): every member owns one row of counters, replicated
+// into every other member's memory with one-sided RDMA writes, and reads the
+// whole table locally. The paper: "Derecho augments RDMC with a replicated
+// status table implemented using one-sided RDMA writes ... Delivery occurs
+// only after every receiver has a copy of the message, which receivers
+// discover by monitoring the status table."
+//
+// The table is deliberately minimal — a matrix of uint64 counters — which is
+// exactly what the stability protocol needs: member i publishes "I have
+// received messages 0..k of group g" by bumping a counter in its row; every
+// member computes min over the column to learn the stable frontier.
+package sst
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rdmc/internal/rdma"
+)
+
+// Table is one member's endpoint of a shared state table with one row per
+// member and a fixed number of uint64 columns.
+type Table struct {
+	provider rdma.Provider
+	id       uint32
+	members  []rdma.NodeID
+	rank     int
+	cols     int
+
+	local  []byte             // the full table: len(members) rows × cols × 8 bytes
+	qps    []rdma.QueuePair   // to every other member
+	onPush func(row, col int) // observer for remote updates
+}
+
+// region derives the registered-memory id for a table.
+func region(id uint32) rdma.RegionID { return rdma.RegionID(id | 1<<30) }
+
+// New creates the local endpoint. Every member calls New with identical
+// arguments; rows start zeroed.
+func New(provider rdma.Provider, id uint32, members []rdma.NodeID, cols int) (*Table, error) {
+	if cols < 1 {
+		return nil, fmt.Errorf("sst: need at least one column, got %d", cols)
+	}
+	if len(members) < 2 {
+		return nil, fmt.Errorf("sst: need at least two members, got %d", len(members))
+	}
+	if id >= 1<<30 {
+		return nil, fmt.Errorf("sst: table id %d must fit in 30 bits", id)
+	}
+	t := &Table{
+		provider: provider,
+		id:       id,
+		members:  append([]rdma.NodeID(nil), members...),
+		rank:     -1,
+		cols:     cols,
+		local:    make([]byte, len(members)*cols*8),
+	}
+	for i, m := range members {
+		if m == provider.NodeID() {
+			t.rank = i
+			break
+		}
+	}
+	if t.rank < 0 {
+		return nil, fmt.Errorf("sst: node %d not in member list", provider.NodeID())
+	}
+	if err := provider.RegisterRegion(region(id), t.local); err != nil {
+		return nil, err
+	}
+	for rank, m := range members {
+		if rank == t.rank {
+			t.qps = append(t.qps, nil)
+			continue
+		}
+		lo, hi := t.rank, rank
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		qp, err := provider.Connect(m, uint64(id)<<32|1<<30|uint64(lo)<<16|uint64(hi))
+		if err != nil {
+			return nil, err
+		}
+		t.qps = append(t.qps, qp)
+	}
+	return t, nil
+}
+
+// Watch installs fn to run whenever a remote member pushes an update into
+// the local replica (the polling thread a real SST runs). fn receives the
+// updated row and column.
+func (t *Table) Watch(fn func(row, col int)) error {
+	t.onPush = fn
+	return t.provider.WatchRegion(region(t.id), func(offset, _ int) {
+		cell := offset / 8
+		if fn != nil {
+			fn(cell/t.cols, cell%t.cols)
+		}
+	})
+}
+
+// Rank returns the local member's row index.
+func (t *Table) Rank() int { return t.rank }
+
+func (t *Table) offset(row, col int) int { return (row*t.cols + col) * 8 }
+
+// Get reads a cell from the local replica.
+func (t *Table) Get(row, col int) uint64 {
+	return binary.LittleEndian.Uint64(t.local[t.offset(row, col):])
+}
+
+// Set publishes a new value for a cell of the local member's own row: it
+// updates the local replica and pushes the cell to every other member with
+// one-sided writes. Values on a row must be monotone for ColumnMin to be
+// meaningful, as in Derecho's monotonic-predicate design.
+func (t *Table) Set(col uint, value uint64) error {
+	if int(col) >= t.cols {
+		return fmt.Errorf("sst: column %d out of range (%d columns)", col, t.cols)
+	}
+	off := t.offset(t.rank, int(col))
+	binary.LittleEndian.PutUint64(t.local[off:], value)
+	for rank, qp := range t.qps {
+		if qp == nil {
+			continue
+		}
+		if err := qp.PostWrite(region(t.id), off, t.local[off:off+8], value); err != nil {
+			return fmt.Errorf("sst: push to rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// ColumnMin returns the minimum of a column across all rows — the stable
+// frontier when rows publish monotone progress counters.
+func (t *Table) ColumnMin(col int) uint64 {
+	min := t.Get(0, col)
+	for row := 1; row < len(t.members); row++ {
+		if v := t.Get(row, col); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Row returns a copy of one row.
+func (t *Table) Row(row int) []uint64 {
+	out := make([]uint64, t.cols)
+	for c := range out {
+		out[c] = t.Get(row, c)
+	}
+	return out
+}

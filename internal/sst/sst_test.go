@@ -1,0 +1,135 @@
+package sst
+
+import (
+	"testing"
+
+	"rdmc/internal/rdma"
+	"rdmc/internal/rdma/simnic"
+	"rdmc/internal/simnet"
+)
+
+func testTables(t *testing.T, n, cols int) (*simnet.Sim, []*Table) {
+	t.Helper()
+	sim := simnet.NewSim(1)
+	cluster, err := simnet.NewCluster(sim, simnet.ClusterConfig{
+		Nodes:         n,
+		LinkBandwidth: 1e9,
+		Latency:       1e-6,
+		CPU:           simnet.CPUConfig{Mode: simnet.ModePolling},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := simnic.NewNetwork(cluster)
+	ids := make([]rdma.NodeID, n)
+	for i := range ids {
+		ids[i] = rdma.NodeID(i)
+	}
+	tables := make([]*Table, n)
+	for i := 0; i < n; i++ {
+		p := network.Provider(ids[i])
+		p.SetHandler(func(rdma.Completion) {})
+		tb, err := New(p, 7, ids, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables[i] = tb
+	}
+	return sim, tables
+}
+
+func TestSetReplicatesToAllMembers(t *testing.T) {
+	sim, tables := testTables(t, 3, 2)
+	if err := tables[1].Set(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := tables[1].Set(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	for i, tb := range tables {
+		if got := tb.Get(1, 0); got != 42 {
+			t.Errorf("table %d cell (1,0) = %d, want 42", i, got)
+		}
+		if got := tb.Get(1, 1); got != 7 {
+			t.Errorf("table %d cell (1,1) = %d, want 7", i, got)
+		}
+	}
+}
+
+func TestColumnMin(t *testing.T) {
+	sim, tables := testTables(t, 4, 1)
+	for i, tb := range tables {
+		if err := tb.Set(0, uint64(10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	for i, tb := range tables {
+		if got := tb.ColumnMin(0); got != 10 {
+			t.Errorf("table %d min = %d, want 10", i, got)
+		}
+	}
+}
+
+func TestWatchFiresOnRemoteUpdates(t *testing.T) {
+	sim, tables := testTables(t, 2, 1)
+	var updates [][2]int
+	if err := tables[1].Watch(func(row, col int) { updates = append(updates, [2]int{row, col}) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := tables[0].Set(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if len(updates) != 1 || updates[0] != [2]int{0, 0} {
+		t.Errorf("updates = %v, want [[0 0]]", updates)
+	}
+}
+
+func TestRowCopy(t *testing.T) {
+	sim, tables := testTables(t, 2, 3)
+	for c := uint(0); c < 3; c++ {
+		if err := tables[0].Set(c, uint64(c)*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	row := tables[1].Row(0)
+	if row[0] != 0 || row[1] != 100 || row[2] != 200 {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	sim, _ := testTables(t, 2, 1)
+	_ = sim
+	cluster, err := simnet.NewCluster(simnet.NewSim(1), simnet.ClusterConfig{
+		Nodes: 2, LinkBandwidth: 1e9, CPU: simnet.CPUConfig{Mode: simnet.ModePolling},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := simnic.NewNetwork(cluster).Provider(0)
+	p.SetHandler(func(rdma.Completion) {})
+	ids := []rdma.NodeID{0, 1}
+	if _, err := New(p, 1, ids, 0); err == nil {
+		t.Error("zero columns accepted")
+	}
+	if _, err := New(p, 1, []rdma.NodeID{0}, 1); err == nil {
+		t.Error("single member accepted")
+	}
+	if _, err := New(p, 1<<30, ids, 1); err == nil {
+		t.Error("oversized id accepted")
+	}
+	if _, err := New(p, 1, []rdma.NodeID{4, 5}, 1); err == nil {
+		t.Error("non-member accepted")
+	}
+	tb, err := New(p, 1, ids, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Set(5, 1); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}

@@ -1,0 +1,181 @@
+// Package stable layers Derecho-style stable delivery over RDMC, following
+// the paper's §4.6 sketch: "On reception of an RDMC message, Derecho buffers
+// it briefly. Delivery occurs only after every receiver has a copy of the
+// message, which receivers discover by monitoring the status table."
+//
+// Each member publishes its received-message count in a shared state table
+// (package sst, one-sided writes). A message becomes *stable* — and is only
+// then handed to the application — once the minimum count across all members
+// passes it. The result is all-or-nothing delivery against receiver crashes
+// after stability: if any member delivered message k, every surviving member
+// holds messages 0..k.
+package stable
+
+import (
+	"fmt"
+	"sync"
+
+	"rdmc/internal/core"
+	"rdmc/internal/rdma"
+	"rdmc/internal/schedule"
+	"rdmc/internal/sst"
+)
+
+// statusCol is the table column carrying each member's received count.
+const statusCol = 0
+
+// Callbacks notify the application.
+type Callbacks struct {
+	// Deliver runs, in sequence order, once a message is stable: every
+	// member of the group holds it.
+	Deliver func(seq int, data []byte, size int)
+	// Failure runs at most once if the group fails; buffered unstable
+	// messages are discarded.
+	Failure func(err error)
+}
+
+// Config carries the underlying RDMC group parameters.
+type Config struct {
+	// BlockSize is the RDMC block granularity (zero: 1 MiB).
+	BlockSize int
+	// Generator picks the multicast schedule (nil: binomial pipeline).
+	Generator schedule.Generator
+	// Incoming allocates receive buffers, as in core.Callbacks; nil runs
+	// metadata-only.
+	Incoming func(size int) []byte
+}
+
+// Group is an RDMC group with a stability barrier in front of delivery.
+type Group struct {
+	mu       sync.Mutex
+	inner    *core.Group
+	table    *sst.Table
+	cbs      Callbacks
+	buffered map[int]bufferedMsg
+	received uint64 // local receive counter, published to the table
+	next     int    // next sequence to deliver
+	failed   bool
+}
+
+type bufferedMsg struct {
+	data []byte
+	size int
+}
+
+// New creates the local endpoint of a stable group. Every member calls New
+// with identical id and member lists. The provider must be the same one the
+// engine runs on (the table registers memory and queue pairs beside RDMC's).
+func New(engine *core.Engine, provider rdma.Provider, id core.GroupID, members []rdma.NodeID, cfg Config, cbs Callbacks) (*Group, error) {
+	if cfg.BlockSize == 0 {
+		cfg.BlockSize = 1 << 20
+	}
+	g := &Group{
+		cbs:      cbs,
+		buffered: make(map[int]bufferedMsg),
+	}
+
+	table, err := sst.New(provider, uint32(id), members, 1)
+	if err != nil {
+		return nil, fmt.Errorf("stable: status table: %w", err)
+	}
+	g.table = table
+	if err := table.Watch(func(row, col int) { g.tryDeliver() }); err != nil {
+		return nil, fmt.Errorf("stable: watch table: %w", err)
+	}
+
+	inner, err := engine.CreateGroup(id, members, core.GroupConfig{
+		BlockSize: cfg.BlockSize,
+		Generator: cfg.Generator,
+		Callbacks: core.Callbacks{
+			Incoming:   cfg.Incoming,
+			Completion: g.onReceive,
+			Failure:    g.onFailure,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.inner = inner
+	return g, nil
+}
+
+// Rank returns the local rank; rank 0 is the sender.
+func (g *Group) Rank() int { return g.inner.Rank() }
+
+// Send multicasts a message (root only). Delivery callbacks fire only after
+// the message is stable everywhere.
+func (g *Group) Send(data []byte) error { return g.inner.Send(data) }
+
+// SendSized multicasts a metadata-only message.
+func (g *Group) SendSized(size int) error { return g.inner.SendSized(size) }
+
+// Delivered returns the number of locally delivered (stable) messages.
+func (g *Group) Delivered() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.next
+}
+
+// Destroy tears down the underlying RDMC group (see core.Group.Destroy).
+func (g *Group) Destroy(done func(error)) { g.inner.Destroy(done) }
+
+// onReceive buffers a locally complete RDMC message and publishes the new
+// receive count to the status table.
+func (g *Group) onReceive(seq int, data []byte, size int) {
+	g.mu.Lock()
+	if g.failed {
+		g.mu.Unlock()
+		return
+	}
+	g.buffered[seq] = bufferedMsg{data: data, size: size}
+	if c := uint64(seq + 1); c > g.received {
+		g.received = c
+	}
+	received := g.received
+	g.mu.Unlock()
+
+	// Publishing outside the lock: the table pushes one-sided writes to
+	// every member and updates the local replica.
+	_ = g.table.Set(statusCol, received)
+	g.tryDeliver()
+}
+
+// tryDeliver hands over every buffered message below the stable frontier.
+func (g *Group) tryDeliver() {
+	frontier := g.table.ColumnMin(statusCol)
+	var ready []struct {
+		seq int
+		msg bufferedMsg
+	}
+	g.mu.Lock()
+	for !g.failed && uint64(g.next) < frontier {
+		msg, ok := g.buffered[g.next]
+		if !ok {
+			break
+		}
+		delete(g.buffered, g.next)
+		ready = append(ready, struct {
+			seq int
+			msg bufferedMsg
+		}{g.next, msg})
+		g.next++
+	}
+	g.mu.Unlock()
+	if g.cbs.Deliver != nil {
+		for _, r := range ready {
+			g.cbs.Deliver(r.seq, r.msg.data, r.msg.size)
+		}
+	}
+}
+
+// onFailure discards unstable messages and reports the failure.
+func (g *Group) onFailure(err error) {
+	g.mu.Lock()
+	g.failed = true
+	dropped := len(g.buffered)
+	g.buffered = make(map[int]bufferedMsg)
+	g.mu.Unlock()
+	if g.cbs.Failure != nil {
+		g.cbs.Failure(fmt.Errorf("stable: %d unstable messages discarded: %w", dropped, err))
+	}
+}

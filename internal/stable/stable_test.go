@@ -1,0 +1,144 @@
+package stable_test
+
+import (
+	"strings"
+	"testing"
+
+	"rdmc/internal/rdma"
+	"rdmc/internal/simhost"
+	"rdmc/internal/simnet"
+	"rdmc/internal/stable"
+)
+
+type deliveryLog struct {
+	seqs     []int
+	at       []float64 // virtual delivery times
+	failures []error
+}
+
+func build(t *testing.T, n int) (*simhost.Grid, []*stable.Group, []*deliveryLog) {
+	t.Helper()
+	grid, err := simhost.New(simhost.Config{
+		Cluster: simnet.ClusterConfig{
+			Nodes:         n,
+			LinkBandwidth: 12.5e9,
+			Latency:       1.5e-6,
+			CPU:           simnet.DefaultCPUConfig(),
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := make([]rdma.NodeID, n)
+	for i := range members {
+		members[i] = rdma.NodeID(i)
+	}
+	groups := make([]*stable.Group, n)
+	logs := make([]*deliveryLog, n)
+	for i := 0; i < n; i++ {
+		log := &deliveryLog{}
+		logs[i] = log
+		g, err := stable.New(grid.Engine(i), grid.Network().Provider(rdma.NodeID(i)), 1, members,
+			stable.Config{BlockSize: 1 << 20},
+			stable.Callbacks{
+				Deliver: func(seq int, _ []byte, _ int) {
+					log.seqs = append(log.seqs, seq)
+					log.at = append(log.at, grid.Sim().Now())
+				},
+				Failure: func(err error) { log.failures = append(log.failures, err) },
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[i] = g
+	}
+	return grid, groups, logs
+}
+
+func TestStableDeliveryReachesEveryone(t *testing.T) {
+	grid, groups, logs := build(t, 4)
+	for i := 0; i < 3; i++ {
+		if err := groups[0].SendSized(8 << 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grid.Run()
+	for i, log := range logs {
+		if len(log.seqs) != 3 {
+			t.Fatalf("node %d delivered %v", i, log.seqs)
+		}
+		for want, got := range log.seqs {
+			if got != want {
+				t.Fatalf("node %d out of order: %v", i, log.seqs)
+			}
+		}
+		if groups[i].Delivered() != 3 {
+			t.Errorf("node %d Delivered() = %d", i, groups[i].Delivered())
+		}
+	}
+}
+
+// TestDeliveryWaitsForStability is the §4.6 semantics check: no member may
+// deliver a message before the last member has received it.
+func TestDeliveryWaitsForStability(t *testing.T) {
+	grid, groups, logs := build(t, 8)
+	if err := groups[0].SendSized(64 << 20); err != nil {
+		t.Fatal(err)
+	}
+	grid.Run()
+
+	// The earliest delivery anywhere must not precede the time the slowest
+	// member finished receiving. RDMC local completions are spread out;
+	// stability compresses deliveries to (just after) the last one.
+	var lastReceive float64
+	for _, log := range logs {
+		if len(log.at) != 1 {
+			t.Fatalf("deliveries = %v", log.at)
+		}
+		if log.at[0] > lastReceive {
+			lastReceive = log.at[0]
+		}
+	}
+	for i, log := range logs {
+		// Every delivery must happen within a whisker (control latency,
+		// not block time) of the global stability point.
+		if lastReceive-log.at[0] > 1e-3 {
+			t.Errorf("node %d delivered %.3fms before global stability", i, (lastReceive-log.at[0])*1e3)
+		}
+	}
+}
+
+func TestFailureDiscardsUnstableMessages(t *testing.T) {
+	grid, groups, logs := build(t, 4)
+	if err := groups[0].SendSized(512 << 20); err != nil { // long transfer
+		t.Fatal(err)
+	}
+	grid.Sim().After(0.005, func() { grid.FailNode(2) })
+	grid.Run()
+	for i, log := range logs {
+		if i == 2 {
+			continue
+		}
+		if len(log.seqs) != 0 {
+			t.Errorf("node %d delivered unstable message", i)
+		}
+		if len(log.failures) != 1 {
+			t.Fatalf("node %d failures = %v", i, log.failures)
+		}
+		if !strings.Contains(log.failures[0].Error(), "unstable") {
+			t.Errorf("failure message = %v", log.failures[0])
+		}
+	}
+}
+
+func TestOnlyRootMaySend(t *testing.T) {
+	grid, groups, _ := build(t, 3)
+	defer grid.Run()
+	if err := groups[1].SendSized(100); err == nil {
+		t.Error("non-root send succeeded")
+	}
+	if groups[1].Rank() != 1 {
+		t.Errorf("rank = %d", groups[1].Rank())
+	}
+}

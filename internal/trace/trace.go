@@ -1,0 +1,151 @@
+// Package trace generates the synthetic replication workload used for the
+// paper's Figure 9. The original experiment replays "a trace sampled from
+// the data replication layer of Microsoft's Cosmos system"; the trace itself
+// is proprietary, so this generator is calibrated to every statistic the
+// paper publishes about it:
+//
+//   - several million 3-node writes with random target nodes out of a
+//     15-node replica pool (one further node generates the traffic);
+//   - object sizes "varying from hundreds of bytes to hundreds of MB", with
+//     a median of 12 MB and a mean of 29 MB — matched here by a log-normal
+//     size distribution (µ = ln 12 MiB, σ = ln(29/12)·√2 ≈ 1.33) clamped to
+//     [256 B, 512 MiB];
+//   - many transfers with overlapping target groups (all 455 possible
+//     3-of-15 groups are pre-created, as in the paper).
+//
+// The substitution preserves what Figure 9 actually measures: the latency
+// distribution of concurrent, size-skewed, group-overlapping replication.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Write is one replication operation: an object of Size bytes copied to the
+// member nodes of Group (indices into the replica pool).
+type Write struct {
+	// Size is the object size in bytes.
+	Size int
+	// Group is the sorted target-node triple.
+	Group [3]int
+}
+
+// CosmosConfig parameterizes the generator. The zero value of each field
+// selects the paper-calibrated default.
+type CosmosConfig struct {
+	// Pool is the number of replica nodes; zero selects 15.
+	Pool int
+	// Replicas is the targets per write; zero selects 3.
+	Replicas int
+	// MedianBytes and MeanBytes shape the log-normal size distribution;
+	// zero selects 12 MiB and 29 MiB.
+	MedianBytes float64
+	MeanBytes   float64
+	// MinBytes and MaxBytes clamp sizes; zero selects 256 B and 512 MiB.
+	MinBytes int
+	MaxBytes int
+}
+
+func (c CosmosConfig) withDefaults() CosmosConfig {
+	if c.Pool == 0 {
+		c.Pool = 15
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.MedianBytes == 0 {
+		c.MedianBytes = 12 << 20
+	}
+	if c.MeanBytes == 0 {
+		c.MeanBytes = 29 << 20
+	}
+	if c.MinBytes == 0 {
+		c.MinBytes = 256
+	}
+	if c.MaxBytes == 0 {
+		c.MaxBytes = 512 << 20
+	}
+	return c
+}
+
+// Cosmos is a deterministic generator of Cosmos-like writes.
+type Cosmos struct {
+	cfg   CosmosConfig
+	rng   *rand.Rand
+	mu    float64
+	sigma float64
+}
+
+// NewCosmos builds a generator with the given seed.
+func NewCosmos(cfg CosmosConfig, seed int64) (*Cosmos, error) {
+	cfg = cfg.withDefaults()
+	switch {
+	case cfg.Replicas != 3:
+		return nil, fmt.Errorf("trace: writes are 3-node in the paper; got %d replicas", cfg.Replicas)
+	case cfg.Pool < cfg.Replicas:
+		return nil, fmt.Errorf("trace: pool %d smaller than replica count %d", cfg.Pool, cfg.Replicas)
+	case cfg.MeanBytes <= cfg.MedianBytes:
+		return nil, fmt.Errorf("trace: mean %g must exceed median %g for a log-normal", cfg.MeanBytes, cfg.MedianBytes)
+	}
+	// For log-normal, median = e^µ and mean = e^(µ+σ²/2).
+	mu := math.Log(cfg.MedianBytes)
+	sigma := math.Sqrt(2 * math.Log(cfg.MeanBytes/cfg.MedianBytes))
+	return &Cosmos{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+		mu:    mu,
+		sigma: sigma,
+	}, nil
+}
+
+// Next returns the next write in the trace.
+func (c *Cosmos) Next() Write {
+	size := int(math.Exp(c.mu + c.sigma*c.rng.NormFloat64()))
+	if size < c.cfg.MinBytes {
+		size = c.cfg.MinBytes
+	}
+	if size > c.cfg.MaxBytes {
+		size = c.cfg.MaxBytes
+	}
+	var g [3]int
+	perm := c.rng.Perm(c.cfg.Pool)[:3]
+	sort.Ints(perm)
+	copy(g[:], perm)
+	return Write{Size: size, Group: g}
+}
+
+// Groups enumerates every possible sorted replica triple in the pool (the
+// paper pre-creates all 455 for the 15-node case).
+func (c *Cosmos) Groups() [][3]int {
+	var out [][3]int
+	n := c.cfg.Pool
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for d := b + 1; d < n; d++ {
+				out = append(out, [3]int{a, b, d})
+			}
+		}
+	}
+	return out
+}
+
+// GroupIndex returns a dense index for a sorted triple, matching the order
+// produced by Groups.
+func (c *Cosmos) GroupIndex(g [3]int) int {
+	n := c.cfg.Pool
+	idx := 0
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			for d := b + 1; d < n; d++ {
+				if g == [3]int{a, b, d} {
+					return idx
+				}
+				idx++
+			}
+		}
+	}
+	return -1
+}

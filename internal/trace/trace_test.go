@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCosmosDefaultsMatchPaperStatistics(t *testing.T) {
+	gen, err := NewCosmos(CosmosConfig{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200_000
+	sizes := make([]float64, n)
+	var sum float64
+	for i := range sizes {
+		w := gen.Next()
+		sizes[i] = float64(w.Size)
+		sum += sizes[i]
+	}
+	sort.Float64s(sizes)
+	median := sizes[n/2]
+	mean := sum / n
+
+	// The paper: median 12 MB, mean 29 MB. Clamping shaves the extreme
+	// tail, so allow ±15% on the mean and ±5% on the median.
+	if math.Abs(median-12<<20)/(12<<20) > 0.05 {
+		t.Errorf("median = %.1f MiB, want ≈12 MiB", median/(1<<20))
+	}
+	if math.Abs(mean-29<<20)/(29<<20) > 0.15 {
+		t.Errorf("mean = %.1f MiB, want ≈29 MiB", mean/(1<<20))
+	}
+	// "Hundreds of bytes to hundreds of MB".
+	if sizes[0] < 256 || sizes[n-1] > 512<<20 {
+		t.Errorf("size range [%v, %v] outside clamp", sizes[0], sizes[n-1])
+	}
+	if sizes[0] >= 100<<10 {
+		t.Errorf("smallest of %d draws is %v — tail too thin", n, sizes[0])
+	}
+	if sizes[n-1] <= 100<<20 {
+		t.Errorf("largest of %d draws is %v — tail too thin", n, sizes[n-1])
+	}
+}
+
+func TestCosmosGroupsAre455SortedTriples(t *testing.T) {
+	gen, err := NewCosmos(CosmosConfig{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := gen.Groups()
+	if len(groups) != 455 { // C(15,3)
+		t.Fatalf("groups = %d, want 455", len(groups))
+	}
+	seen := make(map[[3]int]bool)
+	for _, g := range groups {
+		if !(g[0] < g[1] && g[1] < g[2]) {
+			t.Fatalf("group %v not strictly sorted", g)
+		}
+		if seen[g] {
+			t.Fatalf("duplicate group %v", g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestCosmosGroupIndexRoundTrips(t *testing.T) {
+	gen, err := NewCosmos(CosmosConfig{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range gen.Groups() {
+		if got := gen.GroupIndex(g); got != i {
+			t.Fatalf("GroupIndex(%v) = %d, want %d", g, got, i)
+		}
+	}
+	if gen.GroupIndex([3]int{0, 0, 0}) != -1 {
+		t.Error("invalid triple did not map to -1")
+	}
+}
+
+func TestCosmosWritesTargetValidGroups(t *testing.T) {
+	gen, err := NewCosmos(CosmosConfig{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(uint8) bool {
+		w := gen.Next()
+		return w.Group[0] >= 0 && w.Group[0] < w.Group[1] &&
+			w.Group[1] < w.Group[2] && w.Group[2] < 15 &&
+			w.Size >= 256 && w.Size <= 512<<20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosmosDeterministicBySeed(t *testing.T) {
+	a, _ := NewCosmos(CosmosConfig{}, 11)
+	b, _ := NewCosmos(CosmosConfig{}, 11)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestCosmosConfigValidation(t *testing.T) {
+	if _, err := NewCosmos(CosmosConfig{Replicas: 2}, 1); err == nil {
+		t.Error("non-3 replica count accepted")
+	}
+	if _, err := NewCosmos(CosmosConfig{Pool: 2, Replicas: 3}, 1); err == nil {
+		t.Error("pool smaller than replicas accepted")
+	}
+	if _, err := NewCosmos(CosmosConfig{MedianBytes: 10, MeanBytes: 5}, 1); err == nil {
+		t.Error("mean below median accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package rdmc
+
+import (
+	"time"
+
+	"rdmc/internal/simhost"
+	"rdmc/internal/simnet"
+)
+
+// SimConfig describes a simulated cluster. The defaults model the paper's
+// Fractus testbed: 100 Gb/s full-duplex NICs with full bisection bandwidth.
+type SimConfig struct {
+	// Nodes is the cluster size (required).
+	Nodes int
+	// LinkGbps is the per-direction NIC bandwidth; zero selects 100.
+	LinkGbps float64
+	// LatencyMicros is the one-way message latency; zero selects 1.5 µs.
+	LatencyMicros float64
+	// RackSize, when non-zero, arranges nodes into racks behind a shared
+	// TOR trunk of TrunkGbps per direction (the paper's Apt cluster has
+	// an oversubscribed TOR that degrades to ≈16 Gb/s under load).
+	RackSize  int
+	TrunkGbps float64
+	// CompletionMode selects how simulated completions reach software:
+	// hybrid polling/interrupts (default, RDMC's scheme), pure polling,
+	// or pure interrupts (§5.2.3).
+	CompletionMode CompletionMode
+	// Seed fixes the virtual run; equal seeds give identical runs.
+	Seed int64
+	// Offload enables CORE-Direct-style NIC offload (Figure 12).
+	Offload bool
+}
+
+// CompletionMode mirrors the paper's completion-delivery options.
+type CompletionMode = simnet.CompletionMode
+
+// Completion modes for SimConfig.
+const (
+	ModeHybrid    = simnet.ModeHybrid
+	ModePolling   = simnet.ModePolling
+	ModeInterrupt = simnet.ModeInterrupt
+)
+
+// SimCluster is a deterministic virtual-time deployment of RDMC nodes. All
+// activity happens by advancing the virtual clock with Run or RunUntil; the
+// cluster is single-threaded and not safe for concurrent use.
+type SimCluster struct {
+	grid  *simhost.Grid
+	nodes []*Node
+}
+
+// NewSimCluster builds a simulated deployment.
+func NewSimCluster(cfg SimConfig) (*SimCluster, error) {
+	if cfg.LinkGbps == 0 {
+		cfg.LinkGbps = 100
+	}
+	if cfg.LatencyMicros == 0 {
+		cfg.LatencyMicros = 1.5
+	}
+	cpu := simnet.DefaultCPUConfig()
+	if cfg.CompletionMode != 0 {
+		cpu.Mode = cfg.CompletionMode
+	}
+	grid, err := simhost.New(simhost.Config{
+		Cluster: simnet.ClusterConfig{
+			Nodes:          cfg.Nodes,
+			LinkBandwidth:  cfg.LinkGbps * 1e9 / 8,
+			Latency:        cfg.LatencyMicros * 1e-6,
+			CPU:            cpu,
+			RackSize:       cfg.RackSize,
+			TrunkBandwidth: cfg.TrunkGbps * 1e9 / 8,
+		},
+		Seed:    cfg.Seed,
+		Offload: cfg.Offload,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &SimCluster{grid: grid}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.nodes = append(c.nodes, &Node{engine: grid.Engine(i), id: i})
+	}
+	return c, nil
+}
+
+// Node returns the i-th simulated node.
+func (c *SimCluster) Node(i int) *Node { return c.nodes[i] }
+
+// Nodes returns the cluster size.
+func (c *SimCluster) Nodes() int { return len(c.nodes) }
+
+// Run drives the virtual clock until no work remains and returns the final
+// virtual time.
+func (c *SimCluster) Run() time.Duration {
+	c.grid.Run()
+	return c.grid.Sim().NowDuration()
+}
+
+// RunUntil drives the virtual clock to the given time, reporting whether all
+// work drained before it.
+func (c *SimCluster) RunUntil(t time.Duration) bool {
+	return c.grid.RunUntil(t.Seconds())
+}
+
+// Now returns the current virtual time.
+func (c *SimCluster) Now() time.Duration { return c.grid.Sim().NowDuration() }
+
+// At schedules fn at a virtual time (for failure injection and workload
+// generation inside the simulation).
+func (c *SimCluster) At(t time.Duration, fn func()) {
+	c.grid.Sim().At(t.Seconds(), fn)
+}
+
+// FailNode crashes a node at the current virtual time: its links break and
+// survivors' failure detectors fire.
+func (c *SimCluster) FailNode(i int) { c.grid.FailNode(i) }
+
+// SetLinkBandwidthGbps overrides the capacity of the directed link from src
+// to dst (the §4.5 slow-link experiments); zero restores the default.
+func (c *SimCluster) SetLinkBandwidthGbps(src, dst int, gbps float64) {
+	c.grid.Cluster().SetLinkBandwidth(simnet.NodeID(src), simnet.NodeID(dst), gbps*1e9/8)
+}
+
+// Grid exposes the underlying simulation for advanced studies (CPU stats,
+// scheduling-delay injection). Most callers never need it.
+func (c *SimCluster) Grid() *simhost.Grid { return c.grid }

@@ -1,0 +1,181 @@
+package rdmc
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"rdmc/internal/core"
+	"rdmc/internal/mesh"
+	"rdmc/internal/rdma"
+	"rdmc/internal/rdma/tcpnic"
+)
+
+// TCPConfig describes one node of a real-transport deployment: every node
+// runs two listeners, one for bulk data (queue pairs) and one for the
+// bootstrap/control mesh, and knows every peer's addresses.
+type TCPConfig struct {
+	// NodeID is the local identity (an index agreed across the
+	// deployment).
+	NodeID int
+	// DataAddrs and CtrlAddrs map every node id — including this one — to
+	// its data and mesh listen addresses.
+	DataAddrs map[int]string
+	CtrlAddrs map[int]string
+}
+
+// NewTCPNode starts an RDMC node over real TCP: it listens on its own
+// addresses, builds the full bootstrap mesh (blocking until every peer is
+// connected, as in the paper's initialization), and returns a Node ready for
+// CreateGroup.
+func NewTCPNode(cfg TCPConfig) (*Node, error) {
+	dataAddr, ok := cfg.DataAddrs[cfg.NodeID]
+	if !ok {
+		return nil, fmt.Errorf("rdmc: no data address for local node %d", cfg.NodeID)
+	}
+	ctrlAddr, ok := cfg.CtrlAddrs[cfg.NodeID]
+	if !ok {
+		return nil, fmt.Errorf("rdmc: no control address for local node %d", cfg.NodeID)
+	}
+	dataLn, err := net.Listen("tcp", dataAddr)
+	if err != nil {
+		return nil, fmt.Errorf("rdmc: listen data %s: %w", dataAddr, err)
+	}
+	ctrlLn, err := net.Listen("tcp", ctrlAddr)
+	if err != nil {
+		_ = dataLn.Close()
+		return nil, fmt.Errorf("rdmc: listen ctrl %s: %w", ctrlAddr, err)
+	}
+	return newTCPNode(cfg, dataLn, ctrlLn)
+}
+
+func newTCPNode(cfg TCPConfig, dataLn, ctrlLn net.Listener) (*Node, error) {
+	id := rdma.NodeID(cfg.NodeID)
+	provider, err := tcpnic.New(tcpnic.Config{
+		NodeID:   id,
+		Listener: dataLn,
+		Addrs:    toNodeAddrs(cfg.DataAddrs),
+	})
+	if err != nil {
+		_ = dataLn.Close()
+		_ = ctrlLn.Close()
+		return nil, err
+	}
+
+	node := &Node{id: cfg.NodeID}
+	m, err := mesh.New(mesh.Config{
+		NodeID:   id,
+		Listener: ctrlLn,
+		Addrs:    toNodeAddrs(cfg.CtrlAddrs),
+		OnPeerDown: func(peer rdma.NodeID) {
+			if node.engine != nil {
+				node.engine.NotifyFailure(peer)
+			}
+		},
+	})
+	if err != nil {
+		_ = provider.Close()
+		_ = ctrlLn.Close()
+		return nil, err
+	}
+
+	node.engine = core.NewEngine(provider, m, realHost{start: time.Now()})
+	node.closers = append(node.closers, m.Close)
+	return node, nil
+}
+
+// NewLocalCluster starts n nodes over loopback TCP in one process, with
+// ephemeral ports wired automatically — the quickest way to run real-socket
+// RDMC (examples and integration tests use it).
+func NewLocalCluster(n int) ([]*Node, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rdmc: cluster needs at least one node, got %d", n)
+	}
+	dataLns := make([]net.Listener, n)
+	ctrlLns := make([]net.Listener, n)
+	dataAddrs := make(map[int]string, n)
+	ctrlAddrs := make(map[int]string, n)
+	closeAll := func() {
+		for i := 0; i < n; i++ {
+			if dataLns[i] != nil {
+				_ = dataLns[i].Close()
+			}
+			if ctrlLns[i] != nil {
+				_ = ctrlLns[i].Close()
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		var err error
+		if dataLns[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			closeAll()
+			return nil, err
+		}
+		if ctrlLns[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			closeAll()
+			return nil, err
+		}
+		dataAddrs[i] = dataLns[i].Addr().String()
+		ctrlAddrs[i] = ctrlLns[i].Addr().String()
+	}
+
+	nodes := make([]*Node, n)
+	errs := make(chan error, n)
+	results := make(chan struct {
+		i    int
+		node *Node
+	}, n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			node, err := newTCPNode(TCPConfig{
+				NodeID:    i,
+				DataAddrs: dataAddrs,
+				CtrlAddrs: ctrlAddrs,
+			}, dataLns[i], ctrlLns[i])
+			if err != nil {
+				errs <- fmt.Errorf("rdmc: node %d: %w", i, err)
+				return
+			}
+			results <- struct {
+				i    int
+				node *Node
+			}{i, node}
+		}()
+	}
+	for done := 0; done < n; done++ {
+		select {
+		case err := <-errs:
+			for _, nd := range nodes {
+				if nd != nil {
+					_ = nd.Close()
+				}
+			}
+			return nil, err
+		case r := <-results:
+			nodes[r.i] = r.node
+		}
+	}
+	return nodes, nil
+}
+
+func toNodeAddrs(in map[int]string) map[rdma.NodeID]string {
+	out := make(map[rdma.NodeID]string, len(in))
+	for id, addr := range in {
+		out[rdma.NodeID(id)] = addr
+	}
+	return out
+}
+
+// realHost provides wall-clock services for real-transport nodes.
+type realHost struct {
+	start time.Time
+}
+
+var _ core.Host = realHost{}
+
+// Now implements core.Host.
+func (h realHost) Now() time.Duration { return time.Since(h.start) }
+
+// ChargeCopy implements core.Host: the copy already happened in real time.
+func (realHost) ChargeCopy(n int, fn func()) { fn() }
