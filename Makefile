@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet bench-smoke check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector — the tier the provider conformance
+# suite and the sharded engine are required to keep clean.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# One fast pass over the paper benches and the concurrent-groups
+# microbenchmark: enough iterations to catch regressions in the dataplane
+# allocation counts without rerunning the full figure sweeps.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkConcurrentGroups|BenchmarkBinomialPlanGeneration|BenchmarkSimulatedMulticast' -benchtime 10x -count 1 .
+
+check: build vet test race

@@ -6,8 +6,11 @@
 package rdmc_test
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
+	"rdmc"
 	"rdmc/internal/bench"
 	"rdmc/internal/schedule"
 	"rdmc/internal/simnet"
@@ -110,5 +113,120 @@ func BenchmarkSimulatedMulticast(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		bench.MulticastOnceForBench(8, 64<<20, 1<<20)
+	}
+}
+
+// BenchmarkConcurrentGroups drives N overlapping groups through one engine
+// pair — the paper's Fig. 10 concurrent-group shape — and reports the cost of
+// one round of N 1 MB messages (one per group, all in flight together). The
+// tcpnic variants move real bytes over loopback sockets; the simnic variants
+// run the full protocol metadata-only in virtual time. Allocations per round
+// are the steady-state dataplane overhead the engine and provider impose.
+func BenchmarkConcurrentGroups(b *testing.B) {
+	const msgSize = 1 << 20
+	for _, groups := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("tcpnic/groups=%d", groups), func(b *testing.B) {
+			benchConcurrentGroupsTCP(b, groups, msgSize)
+		})
+	}
+	for _, groups := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("simnic/groups=%d", groups), func(b *testing.B) {
+			benchConcurrentGroupsSim(b, groups, msgSize)
+		})
+	}
+}
+
+func benchConcurrentGroupsTCP(b *testing.B, groups, msgSize int) {
+	nodes, err := rdmc.NewLocalCluster(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+
+	delivered := make(chan int, groups)
+	roots := make([]*rdmc.Group, groups)
+	payload := make([]byte, msgSize)
+	for gid := 0; gid < groups; gid++ {
+		recvBuf := make([]byte, msgSize)
+		gcfg := rdmc.GroupConfig{BlockSize: 1 << 18}
+		root, err := nodes[0].CreateGroup(gid, []int{0, 1}, gcfg, rdmc.Callbacks{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gid := gid
+		_, err = nodes[1].CreateGroup(gid, []int{0, 1}, gcfg, rdmc.Callbacks{
+			Incoming:   func(size int) []byte { return recvBuf },
+			Completion: func(seq int, data []byte, size int) { delivered <- gid },
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		roots[gid] = root
+	}
+
+	// One watchdog for the whole run: a per-wait time.After would charge a
+	// timer allocation to every delivery and pollute allocs/op.
+	watchdog := time.NewTimer(60 * time.Second)
+	defer watchdog.Stop()
+
+	b.ReportAllocs()
+	b.SetBytes(int64(groups * msgSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range roots {
+			if err := g.Send(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for done := 0; done < groups; done++ {
+			select {
+			case <-delivered:
+			case <-watchdog.C:
+				b.Fatalf("round %d: timed out with %d of %d groups delivered", i, done, groups)
+			}
+		}
+	}
+}
+
+func benchConcurrentGroupsSim(b *testing.B, groups, msgSize int) {
+	cluster, err := rdmc.NewSimCluster(rdmc.SimConfig{Nodes: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	roots := make([]*rdmc.Group, groups)
+	members := make([]*rdmc.Group, groups)
+	for gid := 0; gid < groups; gid++ {
+		gcfg := rdmc.GroupConfig{BlockSize: 1 << 18}
+		root, err := cluster.Node(0).CreateGroup(gid, []int{0, 1}, gcfg, rdmc.Callbacks{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		member, err := cluster.Node(1).CreateGroup(gid, []int{0, 1}, gcfg, rdmc.Callbacks{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		roots[gid] = root
+		members[gid] = member
+	}
+
+	b.ReportAllocs()
+	b.SetBytes(int64(groups * msgSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range roots {
+			if err := g.SendSized(msgSize); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cluster.Run()
+		for gid, g := range members {
+			if g.Delivered() != i+1 {
+				b.Fatalf("round %d: group %d delivered %d messages", i, gid, g.Delivered())
+			}
+		}
 	}
 }

@@ -17,6 +17,23 @@
 // is written against verbs: the simulated provider invokes it in virtual
 // time on one thread, the TCP provider from a dispatcher goroutine, and the
 // protocol code is identical in both.
+//
+// # Concurrency
+//
+// Group state is sharded: every Group serializes its own state machine
+// behind its own lock (Group.mu), and the engine routes each completion or
+// control message to its group through a read-mostly table (a sync.Map keyed
+// by the group id in the completion token's high 32 bits) without taking any
+// engine-wide lock. Engine.mu is only a creation/close gate guarding the
+// closed flag.
+//
+// Lock ordering: Engine.mu may be held while acquiring a Group.mu (engine
+// close tears groups down under the gate), but a Group.mu must NEVER be held
+// while acquiring Engine.mu. Code running under a group lock — every
+// *Locked method — must not call Engine.Close, CreateGroup, or any other
+// path that takes the gate; application callbacks are returned out of the
+// *Locked methods and run after the group lock is released precisely so they
+// may re-enter the engine freely.
 package core
 
 import (
@@ -26,6 +43,7 @@ import (
 	"time"
 
 	"rdmc/internal/rdma"
+	"rdmc/internal/rdma/nicbase"
 )
 
 // GroupID identifies an RDMC group; all members use the same number, as in
@@ -108,8 +126,16 @@ type Engine struct {
 	ctrl     Control
 	host     Host
 
-	mu     sync.Mutex
-	groups map[GroupID]*Group
+	// staging recycles first-block landing buffers across transfers and
+	// groups (see transfer.postRecvWindowLocked).
+	staging nicbase.BufPool
+
+	// groups maps GroupID → *Group. Read-mostly: written on group
+	// creation and teardown, read on every completion and control
+	// message.
+	groups sync.Map
+
+	mu     sync.Mutex // creation/close gate; see the package comment
 	closed bool
 }
 
@@ -120,7 +146,6 @@ func NewEngine(provider rdma.Provider, ctrl Control, host Host) *Engine {
 		provider: provider,
 		ctrl:     ctrl,
 		host:     host,
-		groups:   make(map[GroupID]*Group),
 	}
 	provider.SetHandler(e.onCompletion)
 	ctrl.SetHandler(e.onCtrl)
@@ -170,9 +195,16 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
-	for _, g := range e.groups {
+	// Engine.mu → Group.mu is the documented ordering; holding the gate
+	// here keeps teardown atomic with the closed flag so no new group can
+	// slip in behind the sweep.
+	e.groups.Range(func(_, v any) bool {
+		g := v.(*Group)
+		g.mu.Lock()
 		g.teardownLocked()
-	}
+		g.mu.Unlock()
+		return true
+	})
 	e.mu.Unlock()
 	return e.provider.Close()
 }
@@ -181,39 +213,50 @@ func (e *Engine) Close() error {
 // from the bootstrap mesh noticing a broken TCP connection); every group
 // containing the node fails and relays the notice.
 func (e *Engine) NotifyFailure(node rdma.NodeID) {
-	e.mu.Lock()
-	var cbs []func()
-	for _, g := range e.groups {
+	e.groups.Range(func(_, v any) bool {
+		g := v.(*Group)
+		g.mu.Lock()
+		var cbs []func()
 		if g.rankOf(node) >= 0 {
-			cbs = append(cbs, g.failLocked(node, true)...)
+			cbs = g.failLocked(node, true)
 		}
+		g.mu.Unlock()
+		runAll(cbs)
+		return true
+	})
+}
+
+// group resolves a group id through the read-mostly table.
+func (e *Engine) group(id GroupID) *Group {
+	if v, ok := e.groups.Load(id); ok {
+		return v.(*Group)
 	}
-	e.mu.Unlock()
-	runAll(cbs)
+	return nil
 }
 
 // onCompletion is the engine's single completion handler (the paper's shared
-// completion thread).
+// completion thread). It routes by the group bits of the completion token
+// and serializes only against that group.
 func (e *Engine) onCompletion(c rdma.Completion) {
-	e.mu.Lock()
-	g := e.groups[GroupID(c.Token>>32)]
-	var cbs []func()
-	if g != nil {
-		cbs = g.onCompletionLocked(c)
+	g := e.group(GroupID(c.Token >> 32))
+	if g == nil {
+		return
 	}
-	e.mu.Unlock()
+	g.mu.Lock()
+	cbs := g.onCompletionLocked(c)
+	g.mu.Unlock()
 	runAll(cbs)
 }
 
 // onCtrl dispatches control-plane messages.
 func (e *Engine) onCtrl(from rdma.NodeID, m CtrlMsg) {
-	e.mu.Lock()
-	g := e.groups[m.Group]
-	var cbs []func()
-	if g != nil {
-		cbs = g.onCtrlLocked(from, m)
+	g := e.group(m.Group)
+	if g == nil {
+		return
 	}
-	e.mu.Unlock()
+	g.mu.Lock()
+	cbs := g.onCtrlLocked(from, m)
+	g.mu.Unlock()
 	runAll(cbs)
 }
 

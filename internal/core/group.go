@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"rdmc/internal/rdma"
 	"rdmc/internal/schedule"
@@ -57,6 +58,10 @@ type Group struct {
 	members []rdma.NodeID
 	rank    int
 	cfg     GroupConfig
+
+	// mu serializes the group's state machine; every *Locked method runs
+	// under it. See the package comment for the lock-ordering rule.
+	mu sync.Mutex
 
 	qps map[int]rdma.QueuePair // rank → queue pair
 
@@ -140,15 +145,16 @@ func (e *Engine) CreateGroup(id GroupID, members []rdma.NodeID, cfg GroupConfig)
 		return nil, ErrNotMember
 	}
 
+	// The gate makes creation atomic with engine close: a group can never
+	// be added behind Close's teardown sweep.
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return nil, ErrEngineClosed
 	}
-	if _, ok := e.groups[id]; ok {
+	if _, loaded := e.groups.LoadOrStore(id, g); loaded {
 		return nil, ErrGroupExists
 	}
-	e.groups[id] = g
 	return g, nil
 }
 
@@ -162,23 +168,23 @@ func (g *Group) Members() []rdma.NodeID {
 
 // Err returns the group's failure, if any.
 func (g *Group) Err() error {
-	g.engine.mu.Lock()
-	defer g.engine.mu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.failure
 }
 
 // Delivered returns the number of locally completed messages.
 func (g *Group) Delivered() int {
-	g.engine.mu.Lock()
-	defer g.engine.mu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.delivered
 }
 
 // LastStats returns the timing record of the most recently completed
 // message, when RecordStats is enabled.
 func (g *Group) LastStats() *TransferStats {
-	g.engine.mu.Lock()
-	defer g.engine.mu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.lastStats
 }
 
@@ -205,10 +211,9 @@ func (g *Group) send(buf rdma.Buffer) error {
 	if int64(buf.Len) > int64(^uint32(0)) {
 		return ErrMessageTooLarge
 	}
-	e := g.engine
-	e.mu.Lock()
+	g.mu.Lock()
 	if g.rank != 0 {
-		e.mu.Unlock()
+		g.mu.Unlock()
 		return ErrNotRoot
 	}
 	var cbs []func()
@@ -224,7 +229,7 @@ func (g *Group) send(buf rdma.Buffer) error {
 		g.pending = append(g.pending, pendingMsg{seq: seq, size: int64(buf.Len), buf: buf})
 		cbs = g.maybeStartNextLocked()
 	}
-	e.mu.Unlock()
+	g.mu.Unlock()
 	runAll(cbs)
 	return err
 }
@@ -239,8 +244,7 @@ func (g *Group) Destroy(done func(err error)) {
 	if done == nil {
 		done = func(error) {}
 	}
-	e := g.engine
-	e.mu.Lock()
+	g.mu.Lock()
 	var cbs []func()
 	switch {
 	case g.state == stateClosed:
@@ -264,7 +268,7 @@ func (g *Group) Destroy(done func(err error)) {
 			g.ctrlTo(rank, CtrlMsg{Kind: CtrlClose, Group: g.id, Total: g.closeTotal})
 		}
 	}
-	e.mu.Unlock()
+	g.mu.Unlock()
 	runAll(cbs)
 }
 
@@ -275,7 +279,7 @@ func (g *Group) teardownLocked() {
 	for _, qp := range g.qps {
 		_ = qp.Close()
 	}
-	delete(g.engine.groups, g.id)
+	g.engine.groups.Delete(g.id)
 }
 
 // rankOf returns the rank of a node, or -1.

@@ -132,17 +132,17 @@ func (t *transfer) startLocked() []func() {
 	}
 
 	// Member path: the Incoming callback is application code, so run it
-	// outside the engine lock and re-enter to finish setup.
-	e, g, size := t.g.engine, t.g, int(t.size)
+	// outside the group lock and re-enter to finish setup.
+	g, size := t.g, int(t.size)
 	incoming := g.cfg.Callbacks.Incoming
 	return []func(){func() {
 		var data []byte
 		if incoming != nil {
 			data = incoming(size)
 		}
-		e.mu.Lock()
+		g.mu.Lock()
 		cbs := t.finishMemberSetupLocked(data)
-		e.mu.Unlock()
+		g.mu.Unlock()
 		runAll(cbs)
 	}}
 }
@@ -192,7 +192,9 @@ func (t *transfer) postRecvWindowLocked() []func() {
 		}
 		buf := t.blockBuf(tr.Block)
 		if idx == 0 && t.buf.Data != nil {
-			t.staging = make([]byte, buf.Len)
+			// The landing buffer is recycled through the engine's pool:
+			// steady-state transfers allocate no per-message staging.
+			t.staging = g.engine.staging.Get(buf.Len)
 			buf = rdma.MakeBuffer(t.staging)
 		}
 		if err := qp.PostRecv(buf, wrID(t.seq, idx)); err != nil {
@@ -319,20 +321,37 @@ func (t *transfer) recvDoneLocked(idx int, c rdma.Completion) []func() {
 		// area", §4.2), so the block is usable immediately and the copy
 		// cost is accounted without gating the pipeline.
 		n := t.blockLen(tr.Block)
-		if t.staging != nil && t.buf.Data != nil {
-			copy(t.buf.Data[tr.Block*t.g.cfg.BlockSize:], t.staging[:n])
+		if t.staging != nil {
+			if t.buf.Data != nil {
+				copy(t.buf.Data[tr.Block*t.g.cfg.BlockSize:], t.staging[:n])
+			}
+			// The transport handed the completion back; the landing
+			// buffer is free to recycle.
+			t.g.engine.staging.Put(t.staging)
+			t.staging = nil
 		}
-		e := t.g.engine
+		e, g := t.g.engine, t.g
 		before := e.host.Now()
 		stats := t.stats
+		// A real-time host runs the charge callback inline — while this
+		// method still holds g.mu — whereas the simulated host schedules
+		// it on the event loop after the modelled memcpy. The flag tells
+		// the callback which world it is in so it never re-locks a mutex
+		// the caller already holds.
+		inline := true
 		e.host.ChargeCopy(n, func() {
 			if stats == nil {
 				return
 			}
-			e.mu.Lock()
+			if inline {
+				stats.CopyTime += e.host.Now() - before
+				return
+			}
+			g.mu.Lock()
 			stats.CopyTime += e.host.Now() - before
-			e.mu.Unlock()
+			g.mu.Unlock()
 		})
+		inline = false
 	}
 	return t.blockArrivedLocked(tr.Block)
 }

@@ -8,8 +8,8 @@ package mesh
 
 import (
 	"encoding/binary"
-	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -51,8 +51,8 @@ var _ core.Control = (*Mesh)(nil)
 
 type peerConn struct {
 	conn net.Conn
-	enc  *gob.Encoder
-	mu   sync.Mutex // serializes writes
+	mu   sync.Mutex // serializes writes (and owns wbuf)
+	wbuf [ctrlWireLen]byte
 	down atomic.Bool
 }
 
@@ -144,7 +144,7 @@ func (m *Mesh) acceptN(n int) error {
 			return fmt.Errorf("mesh: accept: %w", err)
 		}
 		var hs [4]byte
-		if _, err := readFull(conn, hs[:]); err != nil {
+		if _, err := io.ReadFull(conn, hs[:]); err != nil {
 			_ = conn.Close()
 			return fmt.Errorf("mesh: inbound handshake: %w", err)
 		}
@@ -159,7 +159,7 @@ func (m *Mesh) addPeer(id rdma.NodeID, conn net.Conn) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.peers[id] = &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+	m.peers[id] = &peerConn{conn: conn}
 }
 
 // Send implements core.Control.
@@ -175,7 +175,8 @@ func (m *Mesh) Send(to rdma.NodeID, msg core.CtrlMsg) error {
 	if pc.down.Load() {
 		return fmt.Errorf("mesh: peer %d is down", to)
 	}
-	if err := pc.enc.Encode(msg); err != nil {
+	encodeCtrl(&pc.wbuf, msg)
+	if _, err := pc.conn.Write(pc.wbuf[:]); err != nil {
 		m.peerDown(to, pc)
 		return fmt.Errorf("mesh: send to peer %d: %w", to, err)
 	}
@@ -190,13 +191,13 @@ func (m *Mesh) SetHandler(fn func(from rdma.NodeID, m core.CtrlMsg)) {
 }
 
 func (m *Mesh) readLoop(id rdma.NodeID, pc *peerConn) {
-	dec := gob.NewDecoder(pc.conn)
+	var rbuf [ctrlWireLen]byte
 	for {
-		var msg core.CtrlMsg
-		if err := dec.Decode(&msg); err != nil {
+		if _, err := io.ReadFull(pc.conn, rbuf[:]); err != nil {
 			m.peerDown(id, pc)
 			return
 		}
+		msg := decodeCtrl(&rbuf)
 		m.mu.Lock()
 		h := m.handler
 		m.mu.Unlock()
@@ -253,16 +254,4 @@ func (m *Mesh) Close() error {
 	}
 	m.wg.Wait()
 	return err
-}
-
-func readFull(conn net.Conn, buf []byte) (int, error) {
-	total := 0
-	for total < len(buf) {
-		n, err := conn.Read(buf[total:])
-		total += n
-		if err != nil {
-			return total, err
-		}
-	}
-	return total, nil
 }

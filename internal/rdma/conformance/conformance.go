@@ -1,0 +1,376 @@
+// Package conformance is the executable contract of rdma.Provider: a suite
+// of behavioral tests that every transport must pass, exercised identically
+// against the simulated NIC and the TCP NIC. It pins down the semantics the
+// protocol engine relies on — FIFO per queue pair, immediate delivery, early
+// arrival buffering, region watcher behavior, and the exact error surfaced
+// on each misuse (ErrNoHandler, ErrBufferTooSmall, ErrBroken, ErrClosed) —
+// so that the providers cannot drift apart and a future backend (ibverbs,
+// io_uring) can be validated by pointing a Factory at it.
+package conformance
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"rdmc/internal/rdma"
+)
+
+// Harness is one connected two-node transport instance under test.
+type Harness struct {
+	// A and B are providers for nodes 0 and 1 of a two-node cluster. The
+	// factory returns them without completion handlers; the suite installs
+	// its own.
+	A, B rdma.Provider
+	// Settle advances the transport until in-flight work has landed: the
+	// simulated NIC runs its event loop dry, the TCP NIC sleeps long
+	// enough for loopback frames to arrive. After Settle returns, anything
+	// still undelivered is expected never to deliver.
+	Settle func()
+}
+
+// Factory builds a fresh Harness per test and registers cleanup on t.
+type Factory func(t *testing.T) *Harness
+
+// Run exercises the full conformance suite against the transport.
+func Run(t *testing.T, f Factory) {
+	suite := []struct {
+		name string
+		fn   func(*testing.T, *Harness)
+	}{
+		{"SendRecvDeliversDataAndImmediate", testSendRecv},
+		{"VirtualSendCarriesNoBytes", testVirtualSend},
+		{"FIFOPerQueuePair", testFIFO},
+		{"EarlyArrivalBuffersUntilRecvPosted", testEarlyArrival},
+		{"DistinctTokensAreSeparateQueuePairs", testDistinctTokens},
+		{"OneSidedWriteUpdatesRegionAndWatcher", testOneSidedWrite},
+		{"WatchUnknownRegionFails", testWatchUnknownRegion},
+		{"PostWithoutHandlerFails", testPostWithoutHandler},
+		{"PostedRecvTooSmallBreaksQueuePair", testPostedRecvTooSmall},
+		{"LateRecvTooSmallReturnsErrorAndBreaks", testLateRecvTooSmall},
+		{"QueuePairCloseFailsOutstandingWork", testQPCloseFailsOutstanding},
+		{"ProviderCloseRefusesNewWork", testProviderClose},
+	}
+	for _, tc := range suite {
+		t.Run(tc.name, func(t *testing.T) { tc.fn(t, f(t)) })
+	}
+}
+
+// sink records completions from any dispatch discipline (the simulated NIC
+// delivers on its event loop, the TCP NIC from a dispatcher goroutine).
+type sink struct {
+	mu  sync.Mutex
+	got []rdma.Completion
+}
+
+func (s *sink) handle(c rdma.Completion) {
+	s.mu.Lock()
+	s.got = append(s.got, c)
+	s.mu.Unlock()
+}
+
+func (s *sink) snapshot() []rdma.Completion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]rdma.Completion(nil), s.got...)
+}
+
+// waitN settles the transport until n completions arrived, failing the test
+// after a real-time deadline.
+func (s *sink) waitN(t *testing.T, h *Harness, n int) []rdma.Completion {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h.Settle()
+		if got := s.snapshot(); len(got) >= n {
+			return got
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out with %d of %d completions", len(s.snapshot()), n)
+		}
+	}
+}
+
+// attach installs fresh sinks on both providers.
+func attach(h *Harness) (sa, sb *sink) {
+	sa, sb = &sink{}, &sink{}
+	h.A.SetHandler(sa.handle)
+	h.B.SetHandler(sb.handle)
+	return sa, sb
+}
+
+// connect builds both ends of a queue pair under the given token.
+func connect(t *testing.T, h *Harness, token uint64) (qa, qb rdma.QueuePair) {
+	t.Helper()
+	qa, err := h.A.Connect(h.B.NodeID(), token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err = h.B.Connect(h.A.NodeID(), token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qa, qb
+}
+
+func testSendRecv(t *testing.T, h *Harness) {
+	sa, sb := attach(h)
+	qa, qb := connect(t, h, 7)
+
+	payload := []byte("conformant payload")
+	if err := qb.PostRecv(rdma.MakeBuffer(make([]byte, 64)), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSend(rdma.MakeBuffer(payload), 0xdead, 200); err != nil {
+		t.Fatal(err)
+	}
+
+	sends := sa.waitN(t, h, 1)
+	if c := sends[0]; c.Op != rdma.OpSend || c.Status != rdma.StatusOK || c.WRID != 200 || c.Bytes != len(payload) {
+		t.Errorf("send completion = %+v", c)
+	}
+	recvs := sb.waitN(t, h, 1)
+	c := recvs[0]
+	if c.Op != rdma.OpRecv || c.Status != rdma.StatusOK || c.Imm != 0xdead || c.WRID != 100 {
+		t.Errorf("recv completion = %+v", c)
+	}
+	if !bytes.Equal(c.Data, payload) {
+		t.Errorf("data = %q, want %q", c.Data, payload)
+	}
+	if c.Peer != h.A.NodeID() || c.Token != 7 || c.Bytes != len(payload) {
+		t.Errorf("peer/token/bytes = %d/%d/%d, want %d/7/%d", c.Peer, c.Token, c.Bytes, h.A.NodeID(), len(payload))
+	}
+}
+
+func testVirtualSend(t *testing.T, h *Harness) {
+	_, sb := attach(h)
+	qa, qb := connect(t, h, 1)
+	if err := qb.PostRecv(rdma.SizeBuffer(1<<16), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSend(rdma.SizeBuffer(1<<16), 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	recvs := sb.waitN(t, h, 1)
+	if recvs[0].Bytes != 1<<16 || recvs[0].Data != nil {
+		t.Errorf("virtual recv = %+v, want Bytes=%d Data=nil", recvs[0], 1<<16)
+	}
+}
+
+func testFIFO(t *testing.T, h *Harness) {
+	_, sb := attach(h)
+	qa, qb := connect(t, h, 1)
+	const n = 20
+	for i := uint64(0); i < n; i++ {
+		if err := qb.PostRecv(rdma.SizeBuffer(16), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := qa.PostSend(rdma.SizeBuffer(16), uint32(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvs := sb.waitN(t, h, n)
+	for i, c := range recvs {
+		if c.WRID != uint64(i) || c.Imm != uint32(i) {
+			t.Fatalf("completion %d out of order: %+v", i, c)
+		}
+	}
+}
+
+func testEarlyArrival(t *testing.T, h *Harness) {
+	_, sb := attach(h)
+	qa, qb := connect(t, h, 1)
+	payload := []byte("early bird")
+	if err := qa.PostSend(rdma.MakeBuffer(payload), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	h.Settle() // frame lands with no receive posted
+	if got := sb.snapshot(); len(got) != 0 {
+		t.Fatalf("receiver completed before posting a recv: %+v", got)
+	}
+	if err := qb.PostRecv(rdma.MakeBuffer(make([]byte, 32)), 2); err != nil {
+		t.Fatal(err)
+	}
+	recvs := sb.waitN(t, h, 1)
+	if !bytes.Equal(recvs[0].Data, payload) {
+		t.Errorf("buffered arrival corrupted: %q", recvs[0].Data)
+	}
+}
+
+func testDistinctTokens(t *testing.T, h *Harness) {
+	_, sb := attach(h)
+	qa1, qb1 := connect(t, h, 1)
+	_, qb2 := connect(t, h, 2)
+	if err := qb1.PostRecv(rdma.SizeBuffer(16), 11); err != nil {
+		t.Fatal(err)
+	}
+	if err := qb2.PostRecv(rdma.SizeBuffer(16), 22); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa1.PostSend(rdma.SizeBuffer(16), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	recvs := sb.waitN(t, h, 1)
+	h.Settle()
+	if recvs = sb.snapshot(); len(recvs) != 1 || recvs[0].WRID != 11 || recvs[0].Token != 1 {
+		t.Fatalf("recv completions = %+v, want exactly the token-1 recv", recvs)
+	}
+}
+
+func testOneSidedWrite(t *testing.T, h *Harness) {
+	sa, sb := attach(h)
+	region := make([]byte, 64)
+	if err := h.B.RegisterRegion(3, region); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var watched [][2]int
+	if err := h.B.WatchRegion(3, func(off, n int) {
+		mu.Lock()
+		watched = append(watched, [2]int{off, n})
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	qa, _ := connect(t, h, 1)
+	if err := qa.PostWrite(3, 16, []byte("poke"), 77); err != nil {
+		t.Fatal(err)
+	}
+	writes := sa.waitN(t, h, 1)
+	if writes[0].Op != rdma.OpWrite || writes[0].WRID != 77 || writes[0].Status != rdma.StatusOK {
+		t.Errorf("write completion = %+v", writes[0])
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h.Settle()
+		mu.Lock()
+		n := len(watched)
+		mu.Unlock()
+		if n > 0 || time.Now().After(deadline) {
+			break
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(watched) != 1 || watched[0] != [2]int{16, 4} {
+		t.Fatalf("watcher calls = %v, want [[16 4]]", watched)
+	}
+	if string(region[16:20]) != "poke" {
+		t.Errorf("region = %q, want write at offset 16", region[:24])
+	}
+	// One-sided: the target must not see a completion.
+	if got := sb.snapshot(); len(got) != 0 {
+		t.Errorf("target saw completions for one-sided write: %+v", got)
+	}
+}
+
+func testWatchUnknownRegion(t *testing.T, h *Harness) {
+	attach(h)
+	if err := h.A.WatchRegion(99, func(int, int) {}); err != rdma.ErrUnknownRegion {
+		t.Errorf("err = %v, want ErrUnknownRegion", err)
+	}
+}
+
+func testPostWithoutHandler(t *testing.T, h *Harness) {
+	// No handlers installed: every post must fail fast.
+	qp, err := h.A.Connect(h.B.NodeID(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qp.PostSend(rdma.SizeBuffer(1), 0, 1); err != rdma.ErrNoHandler {
+		t.Errorf("PostSend: err = %v, want ErrNoHandler", err)
+	}
+	if err := qp.PostRecv(rdma.SizeBuffer(1), 2); err != rdma.ErrNoHandler {
+		t.Errorf("PostRecv: err = %v, want ErrNoHandler", err)
+	}
+	if err := qp.PostWrite(1, 0, []byte{1}, 3); err != rdma.ErrNoHandler {
+		t.Errorf("PostWrite: err = %v, want ErrNoHandler", err)
+	}
+}
+
+func testPostedRecvTooSmall(t *testing.T, h *Harness) {
+	attach(h)
+	qa, qb := connect(t, h, 1)
+	if err := qb.PostRecv(rdma.MakeBuffer(make([]byte, 2)), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSend(rdma.MakeBuffer([]byte("too big to land")), 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	waitBroken(t, h, qb)
+}
+
+func testLateRecvTooSmall(t *testing.T, h *Harness) {
+	_, sb := attach(h)
+	qa, qb := connect(t, h, 1)
+	if err := qa.PostSend(rdma.MakeBuffer([]byte("too big to land")), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	h.Settle() // arrival staged with no receive posted
+	if got := sb.snapshot(); len(got) != 0 {
+		t.Fatalf("receiver completed with no recv posted: %+v", got)
+	}
+	if err := qb.PostRecv(rdma.MakeBuffer(make([]byte, 2)), 2); err != rdma.ErrBufferTooSmall {
+		t.Fatalf("undersized late recv: err = %v, want ErrBufferTooSmall", err)
+	}
+	if err := qb.PostRecv(rdma.SizeBuffer(64), 3); err != rdma.ErrBroken {
+		t.Errorf("post after overflow: err = %v, want ErrBroken", err)
+	}
+}
+
+func testQPCloseFailsOutstanding(t *testing.T, h *Harness) {
+	_, sb := attach(h)
+	_, qb := connect(t, h, 1)
+	if err := qb.PostRecv(rdma.SizeBuffer(8), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := qb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recvs := sb.waitN(t, h, 1)
+	if recvs[0].Status != rdma.StatusBroken || recvs[0].Op != rdma.OpRecv || recvs[0].WRID != 1 {
+		t.Errorf("completion after close = %+v, want broken recv 1", recvs[0])
+	}
+	if err := qb.PostSend(rdma.SizeBuffer(1), 0, 2); err != rdma.ErrBroken {
+		t.Errorf("post on closed qp: err = %v, want ErrBroken", err)
+	}
+}
+
+func testProviderClose(t *testing.T, h *Harness) {
+	attach(h)
+	qa, _ := connect(t, h, 1)
+	if err := h.A.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.A.Close(); err != nil {
+		t.Errorf("second Close: err = %v, want idempotent nil", err)
+	}
+	if _, err := h.A.Connect(h.B.NodeID(), 2); err != rdma.ErrClosed {
+		t.Errorf("Connect after close: err = %v, want ErrClosed", err)
+	}
+	if err := qa.PostSend(rdma.SizeBuffer(1), 0, 1); err != rdma.ErrBroken {
+		t.Errorf("post after provider close: err = %v, want ErrBroken", err)
+	}
+	if err := h.A.RegisterRegion(1, make([]byte, 8)); err != rdma.ErrClosed {
+		t.Errorf("RegisterRegion after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// waitBroken settles until posting on the queue pair reports ErrBroken.
+func waitBroken(t *testing.T, h *Harness, qp rdma.QueuePair) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h.Settle()
+		err := qp.PostRecv(rdma.SizeBuffer(1), 999)
+		if err == rdma.ErrBroken {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue pair never broke (last post err = %v)", err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package nicbase
+
+import (
+	"sync"
+
+	"rdmc/internal/rdma"
+)
+
+// CompletionQueue serializes a node's completions into its single installed
+// handler — the explicit object behind rdma.Provider.SetHandler and the
+// analogue of the paper's one shared hardware completion queue per node.
+//
+// Two dispatch disciplines cover the two kinds of provider:
+//
+//   - NewEventCQ hands each delivery to a submit hook supplied by the
+//     provider, for transports that already run on a serial event loop
+//     (simnic routes deliveries through the simulated CPU model);
+//   - NewChannelCQ buffers completions on a channel drained by one
+//     dispatcher goroutine, for transports whose queue pairs complete work
+//     on independent goroutines (tcpnic's per-connection readers and
+//     writers).
+//
+// Either way the handler observes completions serially, which is the
+// contract the protocol engine is written against.
+type CompletionQueue struct {
+	mu      sync.Mutex
+	handler func(rdma.Completion)
+
+	// Event mode.
+	submit func(fn func())
+
+	// Channel mode.
+	ch   chan rdma.Completion
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewEventCQ builds a completion queue for event-loop transports: each
+// posted completion is wrapped in a closure and handed to submit, which must
+// run closures serially (the simulation's CPU model already does).
+func NewEventCQ(submit func(fn func())) *CompletionQueue {
+	return &CompletionQueue{submit: submit}
+}
+
+// NewChannelCQ builds a completion queue with its own dispatcher goroutine
+// reading a buffered channel; buffer sizes the channel (zero selects 1024).
+// Close stops the dispatcher after draining what is queued.
+func NewChannelCQ(buffer int) *CompletionQueue {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	q := &CompletionQueue{
+		ch:   make(chan rdma.Completion, buffer),
+		quit: make(chan struct{}),
+	}
+	q.wg.Add(1)
+	go q.dispatch()
+	return q
+}
+
+// SetHandler installs the completion consumer.
+func (q *CompletionQueue) SetHandler(h func(rdma.Completion)) {
+	q.mu.Lock()
+	q.handler = h
+	q.mu.Unlock()
+}
+
+// HasHandler reports whether a handler is installed (providers gate posting
+// on it, returning rdma.ErrNoHandler otherwise).
+func (q *CompletionQueue) HasHandler() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.handler != nil
+}
+
+// Post delivers one completion. Event mode submits it to the provider's
+// loop; channel mode enqueues it for the dispatcher (dropping it only when
+// the queue has been closed, matching a destroyed hardware CQ).
+func (q *CompletionQueue) Post(c rdma.Completion) {
+	if q.submit != nil {
+		q.mu.Lock()
+		h := q.handler
+		q.mu.Unlock()
+		if h == nil {
+			return
+		}
+		q.submit(func() { h(c) })
+		return
+	}
+	select {
+	case q.ch <- c:
+	case <-q.quit:
+	}
+}
+
+// dispatch drains the channel serially; on Close it delivers whatever is
+// still queued and exits.
+func (q *CompletionQueue) dispatch() {
+	defer q.wg.Done()
+	deliver := func(c rdma.Completion) {
+		q.mu.Lock()
+		h := q.handler
+		q.mu.Unlock()
+		if h != nil {
+			h(c)
+		}
+	}
+	for {
+		select {
+		case c := <-q.ch:
+			deliver(c)
+		case <-q.quit:
+			for {
+				select {
+				case c := <-q.ch:
+					deliver(c)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Close stops a channel-mode dispatcher after a drain pass and waits for it
+// to exit; event-mode queues have nothing to stop. Close is idempotent only
+// through the owning Base, which guards it with its closed flag.
+func (q *CompletionQueue) Close() {
+	if q.submit != nil {
+		return
+	}
+	close(q.quit)
+	q.wg.Wait()
+}

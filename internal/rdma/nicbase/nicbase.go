@@ -1,0 +1,191 @@
+// Package nicbase is the shared runtime under every rdma.Provider: the
+// bookkeeping a NIC needs regardless of what actually moves the bytes. It
+// owns the queue-pair table, the pending-connect rendezvous, the registered
+// memory regions with their watchers, and the serial completion dispatch
+// (CompletionQueue), so that a transport — simnic's virtual-time fabric,
+// tcpnic's sockets, or a future ibverbs or io_uring backend — implements
+// only the wire: how a work request becomes bytes and how bytes become
+// completions.
+package nicbase
+
+import (
+	"fmt"
+	"sync"
+
+	"rdmc/internal/rdma"
+)
+
+// QPKey identifies a queue pair within one provider: the remote endpoint
+// plus the rendezvous token both sides agreed on out of band.
+type QPKey struct {
+	Peer  rdma.NodeID
+	Token uint64
+}
+
+// Base is the provider-independent half of an rdma.Provider. Transports
+// embed it and delegate NodeID, SetHandler, the region calls, and the
+// closed/handler gating of posts; Base never calls back into the transport
+// except through the queue pairs it is asked to break on Close.
+type Base struct {
+	id rdma.NodeID
+	cq *CompletionQueue
+
+	mu       sync.Mutex
+	regions  map[rdma.RegionID][]byte
+	watchers map[rdma.RegionID]func(int, int)
+	byKey    map[QPKey]rdma.QueuePair
+	qps      []rdma.QueuePair
+	closed   bool
+}
+
+// Init wires the base to its identity and completion queue. Providers call
+// it once at construction (Base is embedded, so there is no constructor).
+func (b *Base) Init(id rdma.NodeID, cq *CompletionQueue) {
+	b.id = id
+	b.cq = cq
+	b.regions = make(map[rdma.RegionID][]byte)
+	b.watchers = make(map[rdma.RegionID]func(int, int))
+	b.byKey = make(map[QPKey]rdma.QueuePair)
+}
+
+// NodeID implements rdma.Provider.
+func (b *Base) NodeID() rdma.NodeID { return b.id }
+
+// SetHandler implements rdma.Provider.
+func (b *Base) SetHandler(h func(rdma.Completion)) { b.cq.SetHandler(h) }
+
+// Complete posts one completion to the node's queue.
+func (b *Base) Complete(c rdma.Completion) { b.cq.Post(c) }
+
+// CheckPost is the shared gate in front of every work-request post: the
+// provider must be open and a completion handler installed.
+func (b *Base) CheckPost() error {
+	b.mu.Lock()
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return rdma.ErrClosed
+	}
+	if !b.cq.HasHandler() {
+		return rdma.ErrNoHandler
+	}
+	return nil
+}
+
+// Closed reports whether the provider has been closed.
+func (b *Base) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// EnsureQP returns the queue pair registered under key, creating and
+// registering create()'s result if none exists. It reports whether the
+// queue pair was created by this call (tcpnic's Connect/accept rendezvous:
+// whichever side arrives first parks the endpoint for the other to find).
+func (b *Base) EnsureQP(key QPKey, create func() rdma.QueuePair) (rdma.QueuePair, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, false, rdma.ErrClosed
+	}
+	if qp, ok := b.byKey[key]; ok {
+		return qp, false, nil
+	}
+	qp := create()
+	b.byKey[key] = qp
+	b.qps = append(b.qps, qp)
+	return qp, true, nil
+}
+
+// AddQP registers a queue pair without table deduplication, for transports
+// whose rendezvous pairs endpoints elsewhere (simnic allows several live
+// queue pairs per (peer, token), e.g. both ends of a self-connection). The
+// first registration per key still lands in the lookup table.
+func (b *Base) AddQP(key QPKey, qp rdma.QueuePair) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return rdma.ErrClosed
+	}
+	if _, ok := b.byKey[key]; !ok {
+		b.byKey[key] = qp
+	}
+	b.qps = append(b.qps, qp)
+	return nil
+}
+
+// Shutdown marks the base closed and hands back every registered queue pair
+// exactly once, for the transport to break. The second result is false when
+// the base was already closed (Close must be idempotent).
+func (b *Base) Shutdown() ([]rdma.QueuePair, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, false
+	}
+	b.closed = true
+	qps := b.qps
+	b.qps = nil
+	return qps, true
+}
+
+// CloseCQ stops the completion dispatcher (channel mode only). Transports
+// call it after breaking their queue pairs so broken-status completions
+// still drain.
+func (b *Base) CloseCQ() { b.cq.Close() }
+
+// RegisterRegion implements rdma.Provider.
+func (b *Base) RegisterRegion(id rdma.RegionID, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return rdma.ErrClosed
+	}
+	b.regions[id] = buf
+	return nil
+}
+
+// Region implements rdma.Provider.
+func (b *Base) Region(id rdma.RegionID) []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.regions[id]
+}
+
+// WatchRegion implements rdma.Provider.
+func (b *Base) WatchRegion(id rdma.RegionID, fn func(offset, length int)) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return rdma.ErrClosed
+	}
+	if _, ok := b.regions[id]; !ok {
+		return rdma.ErrUnknownRegion
+	}
+	b.watchers[id] = fn
+	return nil
+}
+
+// ApplyWrite lands an inbound one-sided write: payload (when real bytes
+// moved — nil for metadata-only writes) is copied into the registered
+// region, then the region's watcher fires. A write outside a registered
+// region's bounds is a protocol violation and returns an error for the
+// transport to surface as a broken connection. The watcher runs without
+// Base's lock, so it may re-enter the provider.
+func (b *Base) ApplyWrite(id rdma.RegionID, offset, length int, payload []byte) error {
+	b.mu.Lock()
+	mem := b.regions[id]
+	watcher := b.watchers[id]
+	b.mu.Unlock()
+	if mem != nil && payload != nil {
+		if offset < 0 || offset+length > len(mem) {
+			return fmt.Errorf("nicbase: write [%d,%d) outside region %d of %d bytes", offset, offset+length, id, len(mem))
+		}
+		copy(mem[offset:], payload[:length])
+	}
+	if watcher != nil {
+		watcher(offset, length)
+	}
+	return nil
+}

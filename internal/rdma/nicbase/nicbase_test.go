@@ -1,0 +1,212 @@
+package nicbase
+
+import (
+	"sync"
+	"testing"
+
+	"rdmc/internal/rdma"
+)
+
+// fakeQP is a minimal rdma.QueuePair for table tests.
+type fakeQP struct {
+	peer   rdma.NodeID
+	token  uint64
+	closed bool
+}
+
+func (q *fakeQP) Peer() rdma.NodeID                                  { return q.peer }
+func (q *fakeQP) Token() uint64                                      { return q.token }
+func (q *fakeQP) PostSend(rdma.Buffer, uint32, uint64) error         { return nil }
+func (q *fakeQP) PostRecv(rdma.Buffer, uint64) error                 { return nil }
+func (q *fakeQP) PostWrite(rdma.RegionID, int, []byte, uint64) error { return nil }
+func (q *fakeQP) Close() error                                       { q.closed = true; return nil }
+
+func newBase(cq *CompletionQueue) *Base {
+	b := &Base{}
+	b.Init(3, cq)
+	return b
+}
+
+func TestEventCQDeliversSerially(t *testing.T) {
+	var queue []func()
+	cq := NewEventCQ(func(fn func()) { queue = append(queue, fn) })
+	var got []uint64
+	cq.SetHandler(func(c rdma.Completion) { got = append(got, c.WRID) })
+	cq.Post(rdma.Completion{WRID: 1})
+	cq.Post(rdma.Completion{WRID: 2})
+	if len(got) != 0 {
+		t.Fatal("event CQ delivered before the loop ran")
+	}
+	for _, fn := range queue {
+		fn()
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("deliveries = %v, want [1 2]", got)
+	}
+}
+
+func TestEventCQDropsWithoutHandler(t *testing.T) {
+	var queue []func()
+	cq := NewEventCQ(func(fn func()) { queue = append(queue, fn) })
+	cq.Post(rdma.Completion{WRID: 1})
+	if len(queue) != 0 {
+		t.Fatal("completion submitted with no handler installed")
+	}
+}
+
+func TestChannelCQDrainsOnClose(t *testing.T) {
+	cq := NewChannelCQ(8)
+	var mu sync.Mutex
+	var got []uint64
+	cq.SetHandler(func(c rdma.Completion) {
+		mu.Lock()
+		got = append(got, c.WRID)
+		mu.Unlock()
+	})
+	for i := uint64(0); i < 5; i++ {
+		cq.Post(rdma.Completion{WRID: i})
+	}
+	cq.Close() // blocks until the dispatcher drained and exited
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 5 {
+		t.Fatalf("delivered %d of 5 completions", len(got))
+	}
+	for i, id := range got {
+		if id != uint64(i) {
+			t.Fatalf("deliveries out of order: %v", got)
+		}
+	}
+}
+
+func TestCheckPostGates(t *testing.T) {
+	cq := NewEventCQ(func(fn func()) { fn() })
+	b := newBase(cq)
+	if err := b.CheckPost(); err != rdma.ErrNoHandler {
+		t.Errorf("no handler: err = %v, want ErrNoHandler", err)
+	}
+	cq.SetHandler(func(rdma.Completion) {})
+	if err := b.CheckPost(); err != nil {
+		t.Errorf("ready provider: err = %v", err)
+	}
+	b.Shutdown()
+	if err := b.CheckPost(); err != rdma.ErrClosed {
+		t.Errorf("closed provider: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestEnsureQPParksAndFinds(t *testing.T) {
+	b := newBase(NewEventCQ(func(fn func()) { fn() }))
+	key := QPKey{Peer: 1, Token: 42}
+	q1, created, err := b.EnsureQP(key, func() rdma.QueuePair { return &fakeQP{peer: 1, token: 42} })
+	if err != nil || !created {
+		t.Fatalf("first EnsureQP: created=%v err=%v", created, err)
+	}
+	q2, created, err := b.EnsureQP(key, func() rdma.QueuePair { t.Fatal("create called twice"); return nil })
+	if err != nil || created || q2 != q1 {
+		t.Fatalf("second EnsureQP: qp=%p created=%v err=%v, want %p", q2, created, err, q1)
+	}
+}
+
+func TestShutdownHandsBackQueuePairsOnce(t *testing.T) {
+	b := newBase(NewEventCQ(func(fn func()) { fn() }))
+	_, _, _ = b.EnsureQP(QPKey{Peer: 1, Token: 1}, func() rdma.QueuePair { return &fakeQP{} })
+	_ = b.AddQP(QPKey{Peer: 1, Token: 1}, &fakeQP{}) // duplicate key, distinct endpoint
+	qps, first := b.Shutdown()
+	if len(qps) != 2 || !first {
+		t.Fatalf("Shutdown returned %d queue pairs (first=%v), want 2 (true)", len(qps), first)
+	}
+	if again, first := b.Shutdown(); again != nil || first {
+		t.Fatalf("second Shutdown returned %d queue pairs (first=%v), want nil (false)", len(again), first)
+	}
+	if _, _, err := b.EnsureQP(QPKey{Peer: 2, Token: 2}, nil); err != rdma.ErrClosed {
+		t.Errorf("EnsureQP after shutdown: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestRegionsAndWatchers(t *testing.T) {
+	b := newBase(NewEventCQ(func(fn func()) { fn() }))
+	if err := b.WatchRegion(9, func(int, int) {}); err != rdma.ErrUnknownRegion {
+		t.Errorf("watch unknown region: err = %v, want ErrUnknownRegion", err)
+	}
+	mem := make([]byte, 16)
+	if err := b.RegisterRegion(9, mem); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Region(9); &got[0] != &mem[0] {
+		t.Error("Region returned different memory")
+	}
+	var fired [][2]int
+	if err := b.WatchRegion(9, func(off, n int) { fired = append(fired, [2]int{off, n}) }); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := b.ApplyWrite(9, 4, 3, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if string(mem[4:7]) != "abc" {
+		t.Errorf("region after write = %q", mem[:8])
+	}
+	// Metadata-only write: no copy, watcher still fires.
+	if err := b.ApplyWrite(9, 0, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown region with payload: silently ignored (no registered memory).
+	if err := b.ApplyWrite(8, 0, 1, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	// Out of range against registered memory: protocol violation.
+	if err := b.ApplyWrite(9, 10, 10, make([]byte, 10)); err == nil {
+		t.Error("out-of-range write did not error")
+	}
+	if len(fired) != 2 || fired[0] != [2]int{4, 3} || fired[1] != [2]int{0, 8} {
+		t.Errorf("watcher calls = %v", fired)
+	}
+}
+
+func TestRendezvousPairsMirrorOffers(t *testing.T) {
+	r := NewRendezvous[int]()
+	if _, ok := r.Match(0, 1, 7, 100); ok {
+		t.Fatal("first offer matched")
+	}
+	other, ok := r.Match(1, 0, 7, 200)
+	if !ok || other != 100 {
+		t.Fatalf("mirror offer: other=%d ok=%v, want 100 true", other, ok)
+	}
+	// Same nodes, different token: separate connections.
+	if _, ok := r.Match(1, 0, 8, 300); ok {
+		t.Fatal("offer with different token matched")
+	}
+	// Self-connection: two offers from the same node pair up.
+	if _, ok := r.Match(2, 2, 1, 400); ok {
+		t.Fatal("first self offer matched")
+	}
+	other, ok = r.Match(2, 2, 1, 500)
+	if !ok || other != 400 {
+		t.Fatalf("self rendezvous: other=%d ok=%v, want 400 true", other, ok)
+	}
+}
+
+func TestBufPoolRecycles(t *testing.T) {
+	var p BufPool
+	b1 := p.Get(64)
+	if len(b1) != 64 {
+		t.Fatalf("Get(64) len = %d", len(b1))
+	}
+	p.Put(b1)
+	b2 := p.Get(32)
+	if len(b2) != 32 {
+		t.Fatalf("Get(32) len = %d", len(b2))
+	}
+	// A pool hit must reuse the backing array (same pool, larger capacity).
+	if cap(b2) < 64 {
+		t.Skip("sync.Pool dropped the buffer (GC pressure); nothing to assert")
+	}
+	if &b1[:1][0] != &b2[:1][0] {
+		t.Error("pooled buffer not reused")
+	}
+	p.Put(nil) // must not panic
+	if got := p.Get(128); len(got) != 128 {
+		t.Fatalf("Get(128) after undersized pool entry: len = %d", len(got))
+	}
+}

@@ -1,0 +1,33 @@
+package nicbase
+
+import "sync"
+
+// BufPool recycles block-sized byte buffers across transfers. The dataplane
+// allocates one staging or arrival buffer per block in steady state (the
+// first-block landing area, early arrivals the receiver has not posted for,
+// inbound write payloads); since a deployment uses one or two block sizes,
+// a single pool reaches near-zero steady-state allocation without size
+// classes. Get never returns a buffer shorter than requested; an undersized
+// pooled buffer is simply dropped for the GC.
+type BufPool struct {
+	p sync.Pool
+}
+
+// Get returns a buffer of length n (contents unspecified).
+func (p *BufPool) Get(n int) []byte {
+	if v := p.p.Get(); v != nil {
+		if b := *(v.(*[]byte)); cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// Put recycles a buffer obtained from Get once its contents have been
+// consumed. The caller must not touch b afterwards.
+func (p *BufPool) Put(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	p.p.Put(&b)
+}

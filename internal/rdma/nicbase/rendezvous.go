@@ -1,0 +1,51 @@
+package nicbase
+
+import "rdmc/internal/rdma"
+
+// rendezvousKey orders the two endpoints so both sides of a connection
+// compute the same key from (local, peer, token).
+type rendezvousKey struct {
+	lo, hi rdma.NodeID
+	token  uint64
+}
+
+// Rendezvous pairs queue-pair endpoints created independently by the two
+// sides of a Connect call — the in-memory counterpart of the out-of-band
+// key exchange the paper performs over its bootstrap mesh. E is the
+// transport's endpoint type. Rendezvous is not goroutine-safe: it belongs
+// to transports that rendezvous on a single event loop (simnic); socket
+// transports rendezvous through their accept handshake and Base.EnsureQP
+// instead.
+type Rendezvous[E any] struct {
+	pending map[rendezvousKey][]pendingEndpoint[E]
+}
+
+type pendingEndpoint[E any] struct {
+	local rdma.NodeID
+	ep    E
+}
+
+// NewRendezvous builds an empty rendezvous table.
+func NewRendezvous[E any]() *Rendezvous[E] {
+	return &Rendezvous[E]{pending: make(map[rendezvousKey][]pendingEndpoint[E])}
+}
+
+// Match offers an endpoint owned by local that wants to reach peer under
+// token. If the mirror-image offer is already parked, both are removed and
+// the peer's endpoint is returned; otherwise the offer is parked for the
+// peer to find and ok is false. Self-connections (local == peer) pair two
+// successive offers from the same node.
+func (r *Rendezvous[E]) Match(local, peer rdma.NodeID, token uint64, ep E) (other E, ok bool) {
+	key := rendezvousKey{lo: local, hi: peer, token: token}
+	if key.lo > key.hi {
+		key.lo, key.hi = key.hi, key.lo
+	}
+	for i, cand := range r.pending[key] {
+		if cand.local == peer {
+			r.pending[key] = append(r.pending[key][:i], r.pending[key][i+1:]...)
+			return cand.ep, true
+		}
+	}
+	r.pending[key] = append(r.pending[key], pendingEndpoint[E]{local: local, ep: ep})
+	return other, false
+}

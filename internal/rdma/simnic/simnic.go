@@ -4,6 +4,11 @@
 // the last byte arrives, software costs go through the simnet CPU model, and
 // link or node failures surface as StatusBroken completions.
 //
+// The queue-pair table, region registry, watchers, and serial completion
+// dispatch live in the shared runtime (package nicbase); this package
+// contributes only the wire — how a work request becomes a simulated flow
+// and how a flow's completion becomes a delivery.
+//
 // Everything runs on the simulation's single event-loop thread; providers are
 // not goroutine-safe and must only be touched from simulation callbacks (or
 // before the simulation starts).
@@ -13,28 +18,24 @@ import (
 	"fmt"
 
 	"rdmc/internal/rdma"
+	"rdmc/internal/rdma/nicbase"
 	"rdmc/internal/simnet"
 )
 
 // Network creates providers that share one simulated cluster and pairs their
 // queue-pair endpoints by (node, node, token) rendezvous.
 type Network struct {
-	cluster   *simnet.Cluster
-	pending   map[connKey][]*queuePair
-	providers map[rdma.NodeID]*Provider
-}
-
-type connKey struct {
-	lo, hi rdma.NodeID
-	token  uint64
+	cluster    *simnet.Cluster
+	rendezvous *nicbase.Rendezvous[*queuePair]
+	providers  map[rdma.NodeID]*Provider
 }
 
 // NewNetwork wraps a simulated cluster.
 func NewNetwork(cluster *simnet.Cluster) *Network {
 	return &Network{
-		cluster:   cluster,
-		pending:   make(map[connKey][]*queuePair),
-		providers: make(map[rdma.NodeID]*Provider),
+		cluster:    cluster,
+		rendezvous: nicbase.NewRendezvous[*queuePair](),
+		providers:  make(map[rdma.NodeID]*Provider),
 	}
 }
 
@@ -47,125 +48,68 @@ func (n *Network) Provider(id rdma.NodeID) *Provider {
 	if p, ok := n.providers[id]; ok {
 		return p
 	}
-	p := &Provider{
-		net:      n,
-		id:       id,
-		regions:  make(map[rdma.RegionID][]byte),
-		watchers: make(map[rdma.RegionID]func(int, int)),
-	}
+	p := &Provider{net: n}
+	p.Init(id, nicbase.NewEventCQ(p.submit))
 	n.providers[id] = p
 	return p
 }
 
-func (n *Network) rendezvous(qp *queuePair) {
-	key := connKey{lo: qp.local.id, hi: qp.peer, token: qp.token}
-	if key.lo > key.hi {
-		key.lo, key.hi = key.hi, key.lo
-	}
-	for i, other := range n.pending[key] {
-		if other.local.id == qp.peer {
-			n.pending[key] = append(n.pending[key][:i], n.pending[key][i+1:]...)
-			qp.remote, other.remote = other, qp
-			qp.maybeStart()
-			other.maybeStart()
-			return
-		}
-	}
-	n.pending[key] = append(n.pending[key], qp)
-}
-
 // Provider is a simulated NIC.
 type Provider struct {
-	net      *Network
-	id       rdma.NodeID
-	handler  func(rdma.Completion)
-	regions  map[rdma.RegionID][]byte
-	watchers map[rdma.RegionID]func(int, int)
-	offload  bool
-	closed   bool
-	qps      []*queuePair
+	nicbase.Base
+	net     *Network
+	offload bool
 }
 
 var _ rdma.Provider = (*Provider)(nil)
-
-// NodeID implements rdma.Provider.
-func (p *Provider) NodeID() rdma.NodeID { return p.id }
-
-// SetHandler implements rdma.Provider.
-func (p *Provider) SetHandler(h func(rdma.Completion)) { p.handler = h }
 
 // SetOffload toggles CORE-Direct-style cross-channel offload (§2, Figure 12
 // of the paper): with it on, posting and completion handling bypass the CPU
 // model entirely, as if the precomputed data-flow graph executed on the NIC.
 func (p *Provider) SetOffload(on bool) { p.offload = on }
 
-// Connect implements rdma.Provider.
-func (p *Provider) Connect(peer rdma.NodeID, token uint64) (rdma.QueuePair, error) {
-	if p.closed {
-		return nil, rdma.ErrClosed
+// submit routes a completion delivery through the CPU model (or straight
+// through under offload); it is the provider's completion-queue dispatch
+// hook.
+func (p *Provider) submit(fn func()) {
+	if p.offload {
+		p.sim().After(0, fn)
+		return
 	}
+	p.cpu().Deliver(fn)
+}
+
+// Connect implements rdma.Provider. Unlike socket transports, rendezvous is
+// in-memory and per-call: each Connect creates a fresh endpoint, so a node
+// may hold both ends of a self-connection under one token.
+func (p *Provider) Connect(peer rdma.NodeID, token uint64) (rdma.QueuePair, error) {
 	if int(peer) < 0 || int(peer) >= p.net.cluster.Config().Nodes {
 		return nil, fmt.Errorf("simnic: peer %d outside cluster of %d nodes", peer, p.net.cluster.Config().Nodes)
 	}
 	qp := &queuePair{local: p, peer: peer, token: token}
-	p.qps = append(p.qps, qp)
-	p.net.rendezvous(qp)
+	if err := p.AddQP(nicbase.QPKey{Peer: peer, Token: token}, qp); err != nil {
+		return nil, err
+	}
+	if other, ok := p.net.rendezvous.Match(p.NodeID(), peer, token, qp); ok {
+		qp.remote, other.remote = other, qp
+		qp.maybeStart()
+		other.maybeStart()
+	}
 	return qp, nil
-}
-
-// RegisterRegion implements rdma.Provider.
-func (p *Provider) RegisterRegion(id rdma.RegionID, buf []byte) error {
-	if p.closed {
-		return rdma.ErrClosed
-	}
-	p.regions[id] = buf
-	return nil
-}
-
-// Region implements rdma.Provider.
-func (p *Provider) Region(id rdma.RegionID) []byte { return p.regions[id] }
-
-// WatchRegion implements rdma.Provider.
-func (p *Provider) WatchRegion(id rdma.RegionID, fn func(offset, length int)) error {
-	if p.closed {
-		return rdma.ErrClosed
-	}
-	if _, ok := p.regions[id]; !ok {
-		return rdma.ErrUnknownRegion
-	}
-	p.watchers[id] = fn
-	return nil
 }
 
 // Close implements rdma.Provider.
 func (p *Provider) Close() error {
-	if p.closed {
-		return nil
-	}
-	p.closed = true
-	for _, qp := range p.qps {
-		qp.breakConn()
+	qps, _ := p.Shutdown()
+	for _, qp := range qps {
+		_ = qp.Close()
 	}
 	return nil
 }
 
-func (p *Provider) cpu() *simnet.CPU { return p.net.cluster.CPU(simnet.NodeID(p.id)) }
+func (p *Provider) cpu() *simnet.CPU { return p.net.cluster.CPU(simnet.NodeID(p.NodeID())) }
 
 func (p *Provider) sim() *simnet.Sim { return p.net.cluster.Sim() }
-
-// deliver routes a completion through the CPU model (or straight through
-// under offload) to the handler.
-func (p *Provider) deliver(c rdma.Completion) {
-	if p.handler == nil {
-		return
-	}
-	h := p.handler
-	if p.offload {
-		p.sim().After(0, func() { h(c) })
-		return
-	}
-	p.cpu().Deliver(func() { h(c) })
-}
 
 type sendWR struct {
 	buf   rdma.Buffer
@@ -249,6 +193,10 @@ func (q *queuePair) PostRecv(buf rdma.Buffer, wrID uint64) error {
 	}
 	if len(q.arrivals) > 0 {
 		a := q.arrivals[0]
+		if a.data != nil && buf.Data != nil && len(buf.Data) < len(a.data) {
+			q.breakBoth()
+			return rdma.ErrBufferTooSmall
+		}
 		q.arrivals = q.arrivals[1:]
 		q.completeRecv(recvWR{buf: buf, wrID: wrID}, a)
 		return nil
@@ -264,15 +212,10 @@ func (q *queuePair) Close() error {
 }
 
 func (q *queuePair) postCheck() error {
-	switch {
-	case q.broken:
+	if q.broken {
 		return rdma.ErrBroken
-	case q.local.closed:
-		return rdma.ErrClosed
-	case q.local.handler == nil:
-		return rdma.ErrNoHandler
 	}
-	return nil
+	return q.local.CheckPost()
 }
 
 // maybeStart launches the next queued send if the wire is idle and the
@@ -292,17 +235,14 @@ func (q *queuePair) maybeStart() {
 }
 
 func (q *queuePair) transmit(wr sendWR) {
-	src := simnet.NodeID(q.local.id)
+	src := simnet.NodeID(q.local.NodeID())
 	dst := simnet.NodeID(q.peer)
 	q.local.net.cluster.Transfer(src, dst, float64(wr.buf.Len), func(broken bool) {
 		if q.broken {
 			return
 		}
 		if broken {
-			q.breakConn()
-			if q.remote != nil {
-				q.remote.breakConn()
-			}
+			q.breakBoth()
 			return
 		}
 		q.sends = q.sends[1:]
@@ -311,7 +251,7 @@ func (q *queuePair) transmit(wr sendWR) {
 		if wr.write {
 			op = rdma.OpWrite
 		}
-		q.local.deliver(rdma.Completion{
+		q.local.Complete(rdma.Completion{
 			Op:     op,
 			Status: rdma.StatusOK,
 			Peer:   q.peer,
@@ -336,12 +276,8 @@ func (q *queuePair) onArrival(a arrival, writeData []byte) {
 		return
 	}
 	if a.write {
-		region := q.local.regions[a.region]
-		if region != nil && a.offset >= 0 && a.offset+len(writeData) <= len(region) {
-			copy(region[a.offset:], writeData)
-		}
-		if fn := q.local.watchers[a.region]; fn != nil {
-			fn(a.offset, len(writeData))
+		if err := q.local.ApplyWrite(a.region, a.offset, a.bytes, writeData); err != nil {
+			q.breakBoth()
 		}
 		return
 	}
@@ -366,16 +302,21 @@ func (q *queuePair) completeRecv(wr recvWR, a arrival) {
 	}
 	if a.data != nil && wr.buf.Data != nil {
 		if len(wr.buf.Data) < len(a.data) {
-			q.breakConn()
-			if q.remote != nil {
-				q.remote.breakConn()
-			}
+			q.breakBoth()
 			return
 		}
 		copy(wr.buf.Data, a.data)
 		c.Data = wr.buf.Data[:len(a.data)]
 	}
-	q.local.deliver(c)
+	q.local.Complete(c)
+}
+
+// breakBoth fails this endpoint and, when paired, its remote.
+func (q *queuePair) breakBoth() {
+	q.breakConn()
+	if q.remote != nil {
+		q.remote.breakConn()
+	}
 }
 
 // breakConn fails every outstanding work request on this endpoint.
@@ -389,7 +330,7 @@ func (q *queuePair) breakConn() {
 		if wr.write {
 			op = rdma.OpWrite
 		}
-		q.local.deliver(rdma.Completion{
+		q.local.Complete(rdma.Completion{
 			Op:     op,
 			Status: rdma.StatusBroken,
 			Peer:   q.peer,
@@ -399,7 +340,7 @@ func (q *queuePair) breakConn() {
 	}
 	q.sends = nil
 	for _, wr := range q.recvs {
-		q.local.deliver(rdma.Completion{
+		q.local.Complete(rdma.Completion{
 			Op:     rdma.OpRecv,
 			Status: rdma.StatusBroken,
 			Peer:   q.peer,

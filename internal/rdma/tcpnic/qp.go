@@ -2,7 +2,6 @@ package tcpnic
 
 import (
 	"encoding/binary"
-	"fmt"
 	"io"
 	"net"
 	"sync"
@@ -24,7 +23,7 @@ type sendWR struct {
 	write   bool
 	region  rdma.RegionID
 	offset  int
-	payload []byte // write payload (owned copy)
+	payload []byte // write payload (pooled owned copy)
 }
 
 type recvWR struct {
@@ -36,6 +35,7 @@ type arrival struct {
 	imm     uint32
 	length  int
 	payload []byte // nil for virtual frames
+	pooled  bool   // payload came from the provider's buffer pool
 }
 
 // queuePair is one TCP-backed reliable connection endpoint.
@@ -47,7 +47,8 @@ type queuePair struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	conn     net.Conn
-	sendQ    []sendWR
+	sendQ    []sendWR // entries before sendHead are consumed
+	sendHead int
 	recvQ    []recvWR
 	arrivals []arrival
 	broken   bool
@@ -74,11 +75,13 @@ func (q *queuePair) PostSend(buf rdma.Buffer, imm uint32, wrID uint64) error {
 
 // PostWrite implements rdma.QueuePair.
 func (q *queuePair) PostWrite(region rdma.RegionID, offset int, data []byte, wrID uint64) error {
+	payload := q.p.pool.Get(len(data))
+	copy(payload, data)
 	return q.enqueue(sendWR{
 		write:   true,
 		region:  region,
 		offset:  offset,
-		payload: append([]byte(nil), data...),
+		payload: payload,
 		buf:     rdma.SizeBuffer(len(data)),
 		wrID:    wrID,
 	})
@@ -90,11 +93,8 @@ func (q *queuePair) enqueue(wr sendWR) error {
 	if q.broken {
 		return rdma.ErrBroken
 	}
-	q.p.mu.Lock()
-	noHandler := q.p.handler == nil
-	q.p.mu.Unlock()
-	if noHandler {
-		return rdma.ErrNoHandler
+	if err := q.p.CheckPost(); err != nil {
+		return err
 	}
 	q.sendQ = append(q.sendQ, wr)
 	q.cond.Broadcast()
@@ -108,11 +108,19 @@ func (q *queuePair) PostRecv(buf rdma.Buffer, wrID uint64) error {
 		q.mu.Unlock()
 		return rdma.ErrBroken
 	}
+	if err := q.p.CheckPost(); err != nil {
+		q.mu.Unlock()
+		return err
+	}
 	if len(q.arrivals) > 0 {
 		a := q.arrivals[0]
 		q.arrivals = q.arrivals[1:]
 		q.mu.Unlock()
-		return q.completeRecv(recvWR{buf: buf, wrID: wrID}, a)
+		if err := q.completeRecv(recvWR{buf: buf, wrID: wrID}, a); err != nil {
+			q.breakConn()
+			return err
+		}
+		return nil
 	}
 	q.recvQ = append(q.recvQ, recvWR{buf: buf, wrID: wrID})
 	q.mu.Unlock()
@@ -150,7 +158,7 @@ func (q *queuePair) dial(addr string) {
 		return
 	}
 	var hs [12]byte
-	binary.BigEndian.PutUint32(hs[0:4], uint32(q.p.cfg.NodeID))
+	binary.BigEndian.PutUint32(hs[0:4], uint32(q.p.NodeID()))
 	binary.BigEndian.PutUint64(hs[4:12], q.token)
 	if _, err := conn.Write(hs[:]); err != nil {
 		_ = conn.Close()
@@ -188,19 +196,22 @@ func (q *queuePair) attach(conn net.Conn) {
 func (q *queuePair) writer(conn net.Conn) {
 	for {
 		q.mu.Lock()
-		for len(q.sendQ) == 0 && !q.broken {
+		for q.sendHead == len(q.sendQ) && !q.broken {
 			q.cond.Wait()
 		}
 		if q.broken {
 			q.mu.Unlock()
 			return
 		}
-		wr := q.sendQ[0]
+		wr := q.sendQ[q.sendHead]
 		q.mu.Unlock()
 
 		if err := q.writeFrame(conn, wr); err != nil {
 			q.breakConn()
 			return
+		}
+		if wr.payload != nil {
+			q.p.pool.Put(wr.payload)
 		}
 
 		q.mu.Lock()
@@ -208,14 +219,21 @@ func (q *queuePair) writer(conn net.Conn) {
 			q.mu.Unlock()
 			return
 		}
-		q.sendQ = q.sendQ[1:]
+		// Consume by advancing the head; once the queue drains, rewind so
+		// the backing array is reused instead of reallocated every round.
+		q.sendQ[q.sendHead] = sendWR{}
+		q.sendHead++
+		if q.sendHead == len(q.sendQ) {
+			q.sendQ = q.sendQ[:0]
+			q.sendHead = 0
+		}
 		q.mu.Unlock()
 
 		op := rdma.OpSend
 		if wr.write {
 			op = rdma.OpWrite
 		}
-		q.p.post(rdma.Completion{
+		q.p.Complete(rdma.Completion{
 			Op:     op,
 			Status: rdma.StatusOK,
 			Peer:   q.peer,
@@ -313,10 +331,12 @@ func (q *queuePair) reader(conn net.Conn) {
 				continue
 			}
 
-			// Receive not yet posted: buffer the arrival.
+			// Receive not yet posted: stage the arrival in a pooled
+			// buffer until one is.
 			a := arrival{imm: imm, length: length}
 			if !virtual {
-				a.payload = make([]byte, length)
+				a.payload = q.p.pool.Get(length)
+				a.pooled = true
 				if _, err := io.ReadFull(conn, a.payload); err != nil {
 					q.breakConn()
 					return
@@ -338,25 +358,17 @@ func (q *queuePair) applyWrite(conn net.Conn, aux uint64, length int, virtual bo
 	offset := int(uint32(aux))
 	var payload []byte
 	if !virtual {
-		payload = make([]byte, length)
+		payload = q.p.pool.Get(length)
 		if _, err := io.ReadFull(conn, payload); err != nil {
+			q.p.pool.Put(payload)
 			return err
 		}
 	}
-	q.p.mu.Lock()
-	mem := q.p.regions[region]
-	watcher := q.p.watchers[region]
-	q.p.mu.Unlock()
-	if mem != nil && payload != nil {
-		if offset < 0 || offset+length > len(mem) {
-			return fmt.Errorf("tcpnic: write outside region %d", region)
-		}
-		copy(mem[offset:], payload)
+	err := q.p.ApplyWrite(region, offset, length, payload)
+	if payload != nil {
+		q.p.pool.Put(payload)
 	}
-	if watcher != nil {
-		watcher(offset, length)
-	}
-	return nil
+	return err
 }
 
 func (q *queuePair) completeRecv(wr recvWR, a arrival) error {
@@ -380,7 +392,10 @@ func (q *queuePair) completeRecv(wr recvWR, a arrival) error {
 	if a.payload != nil && wr.buf.Data != nil {
 		c.Data = wr.buf.Data[:a.length]
 	}
-	q.p.post(c)
+	if a.pooled {
+		q.p.pool.Put(a.payload)
+	}
+	q.p.Complete(c)
 	return nil
 }
 
@@ -394,9 +409,9 @@ func (q *queuePair) breakConn() {
 	}
 	q.broken = true
 	conn := q.conn
-	sends := q.sendQ
+	sends := q.sendQ[q.sendHead:]
 	recvs := q.recvQ
-	q.sendQ, q.recvQ = nil, nil
+	q.sendQ, q.recvQ, q.sendHead = nil, nil, 0
 	q.cond.Broadcast()
 	q.mu.Unlock()
 
@@ -408,12 +423,12 @@ func (q *queuePair) breakConn() {
 		if wr.write {
 			op = rdma.OpWrite
 		}
-		q.p.post(rdma.Completion{
+		q.p.Complete(rdma.Completion{
 			Op: op, Status: rdma.StatusBroken, Peer: q.peer, Token: q.token, WRID: wr.wrID,
 		})
 	}
 	for _, wr := range recvs {
-		q.p.post(rdma.Completion{
+		q.p.Complete(rdma.Completion{
 			Op: rdma.OpRecv, Status: rdma.StatusBroken, Peer: q.peer, Token: q.token, WRID: wr.wrID,
 		})
 	}

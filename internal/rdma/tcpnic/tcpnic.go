@@ -20,9 +20,12 @@
 //     outstanding work requests on the queue pair, like an RC connection
 //     exhausting its retries.
 //
-// Completions from every queue pair funnel into one dispatcher goroutine per
-// provider, preserving the single-completion-thread discipline the engine
-// expects.
+// The queue-pair table, region registry, watchers, and the single-dispatcher
+// completion queue live in the shared runtime (package nicbase); this
+// package contributes only the sockets: framing, the connect handshake, and
+// the per-connection reader/writer loops. Early arrivals and inbound write
+// payloads are staged in pooled buffers (nicbase.BufPool), so the
+// steady-state receive path allocates nothing per block.
 package tcpnic
 
 import (
@@ -33,6 +36,7 @@ import (
 	"sync"
 
 	"rdmc/internal/rdma"
+	"rdmc/internal/rdma/nicbase"
 )
 
 const (
@@ -59,24 +63,10 @@ type Config struct {
 
 // Provider is a TCP-backed NIC.
 type Provider struct {
-	cfg Config
-
-	mu       sync.Mutex
-	handler  func(rdma.Completion)
-	qps      map[qpKey]*queuePair
-	regions  map[rdma.RegionID][]byte
-	watchers map[rdma.RegionID]func(int, int)
-	closed   bool
-
-	completions chan rdma.Completion
-	dispatchEnd chan struct{}
-	acceptEnd   chan struct{}
-	wg          sync.WaitGroup
-}
-
-type qpKey struct {
-	peer  rdma.NodeID
-	token uint64
+	nicbase.Base
+	cfg  Config
+	pool nicbase.BufPool
+	wg   sync.WaitGroup
 }
 
 var _ rdma.Provider = (*Provider)(nil)
@@ -88,50 +78,24 @@ func New(cfg Config) (*Provider, error) {
 	if cfg.Listener == nil {
 		return nil, fmt.Errorf("tcpnic: node %d needs a listener", cfg.NodeID)
 	}
-	if cfg.CompletionBuffer <= 0 {
-		cfg.CompletionBuffer = 1024
-	}
-	p := &Provider{
-		cfg:         cfg,
-		qps:         make(map[qpKey]*queuePair),
-		regions:     make(map[rdma.RegionID][]byte),
-		watchers:    make(map[rdma.RegionID]func(int, int)),
-		completions: make(chan rdma.Completion, cfg.CompletionBuffer),
-		dispatchEnd: make(chan struct{}),
-		acceptEnd:   make(chan struct{}),
-	}
-	p.wg.Add(2)
-	go p.dispatch()
+	p := &Provider{cfg: cfg}
+	p.Init(cfg.NodeID, nicbase.NewChannelCQ(cfg.CompletionBuffer))
+	p.wg.Add(1)
 	go p.accept()
 	return p, nil
-}
-
-// NodeID implements rdma.Provider.
-func (p *Provider) NodeID() rdma.NodeID { return p.cfg.NodeID }
-
-// SetHandler implements rdma.Provider.
-func (p *Provider) SetHandler(h func(rdma.Completion)) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.handler = h
 }
 
 // Connect implements rdma.Provider: it returns immediately; the connection
 // is dialed (or awaited) in the background and queued work requests flush
 // once it is up.
 func (p *Provider) Connect(peer rdma.NodeID, token uint64) (rdma.QueuePair, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return nil, rdma.ErrClosed
+	qp, created, err := p.EnsureQP(nicbase.QPKey{Peer: peer, Token: token}, func() rdma.QueuePair {
+		return newQueuePair(p, peer, token)
+	})
+	if err != nil {
+		return nil, err
 	}
-	key := qpKey{peer: peer, token: token}
-	if qp, ok := p.qps[key]; ok {
-		return qp, nil
-	}
-	qp := newQueuePair(p, peer, token)
-	p.qps[key] = qp
-	if p.cfg.NodeID > peer {
+	if created && p.cfg.NodeID > peer {
 		// Higher id dials; lower id accepts.
 		addr, ok := p.cfg.Addrs[peer]
 		if !ok {
@@ -140,111 +104,33 @@ func (p *Provider) Connect(peer rdma.NodeID, token uint64) (rdma.QueuePair, erro
 		p.wg.Add(1)
 		go func() {
 			defer p.wg.Done()
-			qp.dial(addr)
+			qp.(*queuePair).dial(addr)
 		}()
 	}
 	return qp, nil
 }
 
-// RegisterRegion implements rdma.Provider.
-func (p *Provider) RegisterRegion(id rdma.RegionID, buf []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return rdma.ErrClosed
-	}
-	p.regions[id] = buf
-	return nil
-}
-
-// Region implements rdma.Provider.
-func (p *Provider) Region(id rdma.RegionID) []byte {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.regions[id]
-}
-
-// WatchRegion implements rdma.Provider.
-func (p *Provider) WatchRegion(id rdma.RegionID, fn func(offset, length int)) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
-		return rdma.ErrClosed
-	}
-	if _, ok := p.regions[id]; !ok {
-		return rdma.ErrUnknownRegion
-	}
-	p.watchers[id] = fn
-	return nil
-}
-
 // Close implements rdma.Provider: it stops accepting, breaks every queue
-// pair, and waits for the background goroutines to exit.
+// pair, drains the completion dispatcher, and waits for the background
+// goroutines to exit.
 func (p *Provider) Close() error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	qps, first := p.Shutdown()
+	if !first {
 		return nil
 	}
-	p.closed = true
-	qps := make([]*queuePair, 0, len(p.qps))
-	for _, qp := range p.qps {
-		qps = append(qps, qp)
-	}
-	p.mu.Unlock()
-
 	err := p.cfg.Listener.Close()
 	for _, qp := range qps {
 		_ = qp.Close()
 	}
-	close(p.dispatchEnd)
+	p.CloseCQ()
 	p.wg.Wait()
 	return err
-}
-
-// dispatch delivers completions serially to the handler.
-func (p *Provider) dispatch() {
-	defer p.wg.Done()
-	for {
-		select {
-		case c := <-p.completions:
-			p.mu.Lock()
-			h := p.handler
-			p.mu.Unlock()
-			if h != nil {
-				h(c)
-			}
-		case <-p.dispatchEnd:
-			// Drain whatever is queued, then exit.
-			for {
-				select {
-				case c := <-p.completions:
-					p.mu.Lock()
-					h := p.handler
-					p.mu.Unlock()
-					if h != nil {
-						h(c)
-					}
-				default:
-					return
-				}
-			}
-		}
-	}
-}
-
-func (p *Provider) post(c rdma.Completion) {
-	select {
-	case p.completions <- c:
-	case <-p.dispatchEnd:
-	}
 }
 
 // accept pairs inbound connections with pending Connect calls by their
 // handshake (peer id, token).
 func (p *Provider) accept() {
 	defer p.wg.Done()
-	defer close(p.acceptEnd)
 	for {
 		conn, err := p.cfg.Listener.Accept()
 		if err != nil {
@@ -267,22 +153,16 @@ func (p *Provider) handleInbound(conn net.Conn) {
 	peer := rdma.NodeID(binary.BigEndian.Uint32(hs[0:4]))
 	token := binary.BigEndian.Uint64(hs[4:12])
 
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	// The peer may connect before the local Connect call: EnsureQP parks
+	// the endpoint so Connect finds it live.
+	qp, _, err := p.EnsureQP(nicbase.QPKey{Peer: peer, Token: token}, func() rdma.QueuePair {
+		return newQueuePair(p, peer, token)
+	})
+	if err != nil {
 		_ = conn.Close()
 		return
 	}
-	key := qpKey{peer: peer, token: token}
-	qp, ok := p.qps[key]
-	if !ok {
-		// The peer connected before the local Connect call: park the
-		// endpoint so Connect finds it live.
-		qp = newQueuePair(p, peer, token)
-		p.qps[key] = qp
-	}
-	p.mu.Unlock()
-	qp.attach(conn)
+	qp.(*queuePair).attach(conn)
 }
 
 func setNoDelay(conn net.Conn) {
