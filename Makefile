@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke check
+.PHONY: all build test race vet bench-smoke bench-json check
 
 all: build
 
@@ -23,5 +23,10 @@ vet:
 # allocation counts without rerunning the full figure sweeps.
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkConcurrentGroups|BenchmarkBinomialPlanGeneration|BenchmarkSimulatedMulticast' -benchtime 10x -count 1 .
+
+# Machine-readable send-window numbers: standard testing-package benchmark
+# output (benchstat-compatible Output lines) wrapped in test2json events.
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkSendWindow|BenchmarkConcurrentGroups' -benchtime 5x -count 1 -json . > BENCH_sendwindow.json
 
 check: build vet test race

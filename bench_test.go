@@ -152,7 +152,9 @@ func benchConcurrentGroupsTCP(b *testing.B, groups, msgSize int) {
 	payload := make([]byte, msgSize)
 	for gid := 0; gid < groups; gid++ {
 		recvBuf := make([]byte, msgSize)
-		gcfg := rdmc.GroupConfig{BlockSize: 1 << 18}
+		// SendWindow pinned to 1: this benchmark isolates per-round engine
+		// overhead across groups; BenchmarkSendWindow owns the window sweep.
+		gcfg := rdmc.GroupConfig{BlockSize: 1 << 18, SendWindow: 1}
 		root, err := nodes[0].CreateGroup(gid, []int{0, 1}, gcfg, rdmc.Callbacks{})
 		if err != nil {
 			b.Fatal(err)
@@ -200,7 +202,9 @@ func benchConcurrentGroupsSim(b *testing.B, groups, msgSize int) {
 	roots := make([]*rdmc.Group, groups)
 	members := make([]*rdmc.Group, groups)
 	for gid := 0; gid < groups; gid++ {
-		gcfg := rdmc.GroupConfig{BlockSize: 1 << 18}
+		// SendWindow pinned to 1: this benchmark isolates per-round engine
+		// overhead across groups; BenchmarkSendWindow owns the window sweep.
+		gcfg := rdmc.GroupConfig{BlockSize: 1 << 18, SendWindow: 1}
 		root, err := cluster.Node(0).CreateGroup(gid, []int{0, 1}, gcfg, rdmc.Callbacks{})
 		if err != nil {
 			b.Fatal(err)
@@ -227,6 +231,121 @@ func benchConcurrentGroupsSim(b *testing.B, groups, msgSize int) {
 			if g.Delivered() != i+1 {
 				b.Fatalf("round %d: group %d delivered %d messages", i, gid, g.Delivered())
 			}
+		}
+	}
+}
+
+// BenchmarkSendWindow sweeps the send window (the receive window follows it
+// by default) across message sizes and both providers. On tcpnic the window
+// is what hides the per-block ready-notice round trip behind the wire: at
+// W=1 the sender idles between blocks waiting for the receiver's credit,
+// while at W=4 the pipeline stays full. The 32 KB block size puts the run in
+// the regime where that round trip dominates; at loopback-memcpy-bound block
+// sizes (256 KB and up) the copy cost drowns the control overhead and the
+// window has nothing to hide. On simnic the sweep runs the full protocol in
+// virtual time, so it measures the engine's own overhead per window setting
+// rather than wire behavior.
+func BenchmarkSendWindow(b *testing.B) {
+	for _, size := range []int{1 << 20, 16 << 20} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("tcpnic/size=%dMB/w=%d", size>>20, w), func(b *testing.B) {
+				benchSendWindowTCP(b, w, size)
+			})
+		}
+	}
+	for _, size := range []int{1 << 20, 16 << 20} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("simnic/size=%dMB/w=%d", size>>20, w), func(b *testing.B) {
+				benchSendWindowSim(b, w, size)
+			})
+		}
+	}
+}
+
+func benchSendWindowTCP(b *testing.B, window, msgSize int) {
+	nodes, err := rdmc.NewLocalCluster(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+
+	gcfg := rdmc.GroupConfig{BlockSize: 1 << 15, SendWindow: window}
+	delivered := make(chan struct{}, 1)
+	recvBuf := make([]byte, msgSize)
+	root, err := nodes[0].CreateGroup(1, []int{0, 1}, gcfg, rdmc.Callbacks{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, err = nodes[1].CreateGroup(1, []int{0, 1}, gcfg, rdmc.Callbacks{
+		Incoming:   func(size int) []byte { return recvBuf },
+		Completion: func(seq int, data []byte, size int) { delivered <- struct{}{} },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	payload := make([]byte, msgSize)
+	watchdog := time.NewTimer(60 * time.Second)
+	defer watchdog.Stop()
+
+	// Untimed warmup: let the kernel's socket autotuning, the staging
+	// pools, and the runtime settle before measuring.
+	for i := 0; i < 5; i++ {
+		if err := root.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-delivered:
+		case <-watchdog.C:
+			b.Fatalf("warmup round %d: delivery timed out", i)
+		}
+	}
+
+	b.ReportAllocs()
+	b.SetBytes(int64(msgSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := root.Send(payload); err != nil {
+			b.Fatal(err)
+		}
+		select {
+		case <-delivered:
+		case <-watchdog.C:
+			b.Fatalf("round %d: delivery timed out", i)
+		}
+	}
+}
+
+func benchSendWindowSim(b *testing.B, window, msgSize int) {
+	cluster, err := rdmc.NewSimCluster(rdmc.SimConfig{Nodes: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gcfg := rdmc.GroupConfig{BlockSize: 1 << 18, SendWindow: window}
+	members := []int{0, 1, 2, 3}
+	groups := make([]*rdmc.Group, len(members))
+	for i := range members {
+		g, err := cluster.Node(i).CreateGroup(1, members, gcfg, rdmc.Callbacks{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups[i] = g
+	}
+
+	b.ReportAllocs()
+	b.SetBytes(int64(msgSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := groups[0].SendSized(msgSize); err != nil {
+			b.Fatal(err)
+		}
+		cluster.Run()
+		if groups[3].Delivered() != i+1 {
+			b.Fatalf("round %d: tail member delivered %d", i, groups[3].Delivered())
 		}
 	}
 }

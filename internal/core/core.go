@@ -91,6 +91,11 @@ type CtrlMsg struct {
 	Node  rdma.NodeID
 	Total int
 	OK    bool
+	// Count batches readiness credit on CtrlReadyBlock: the receiver has
+	// posted Count more receives for the sender's scheduled transfers, of
+	// which (Round, Block) is the first. Zero means one (a legacy
+	// single-block notice).
+	Count int
 }
 
 // Control is the out-of-band channel the engine uses for smalls: the
@@ -147,7 +152,11 @@ func NewEngine(provider rdma.Provider, ctrl Control, host Host) *Engine {
 		ctrl:     ctrl,
 		host:     host,
 	}
-	provider.SetHandler(e.onCompletion)
+	if bp, ok := provider.(rdma.BatchProvider); ok {
+		bp.SetBatchHandler(e.onCompletionBatch)
+	} else {
+		provider.SetHandler(e.onCompletion)
+	}
 	ctrl.SetHandler(e.onCtrl)
 	return e
 }
@@ -246,6 +255,36 @@ func (e *Engine) onCompletion(c rdma.Completion) {
 	cbs := g.onCompletionLocked(c)
 	g.mu.Unlock()
 	runAll(cbs)
+}
+
+// onCompletionBatch consumes a drained slice of completions (providers that
+// implement rdma.BatchProvider). Completions stay in order; consecutive
+// completions for the same group — the common case when a send window keeps
+// several blocks in flight on one group — are processed under one
+// acquisition of that group's lock instead of one per completion. Callbacks
+// surfaced by a run still fire before the next run's lock is taken, so the
+// observable callback order matches per-completion dispatch.
+func (e *Engine) onCompletionBatch(batch []rdma.Completion) {
+	for i := 0; i < len(batch); {
+		id := GroupID(batch[i].Token >> 32)
+		j := i + 1
+		for j < len(batch) && GroupID(batch[j].Token>>32) == id {
+			j++
+		}
+		if g := e.group(id); g != nil {
+			var cbs []func()
+			g.mu.Lock()
+			g.noticeDefer = true
+			for _, c := range batch[i:j] {
+				cbs = append(cbs, g.onCompletionLocked(c)...)
+			}
+			g.noticeDefer = false
+			g.flushNoticesLocked()
+			g.mu.Unlock()
+			runAll(cbs)
+		}
+		i = j
+	}
 }
 
 // onCtrl dispatches control-plane messages.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"maps"
 	"math/rand"
 	"testing"
 
@@ -485,5 +486,85 @@ func TestDeterministicVirtualTime(t *testing.T) {
 	a, b := run(), run()
 	if a != b {
 		t.Errorf("identical runs ended at %v and %v", a, b)
+	}
+}
+
+// TestSendWindowEquivalence pins the send window down as a pure throughput
+// knob: widening it changes when blocks move, never which blocks move or
+// what the application sees. The same message multicast under SendWindow 1
+// (the lockstep discipline) and SendWindow 4 (the default pipeline) must
+// deliver identical bytes on every member and drive the identical set of
+// scheduled block sends and receives through every member's stats.
+func TestSendWindowEquivalence(t *testing.T) {
+	type memberRecord struct {
+		delivered [][]byte
+		sends     map[int]int // block → times sent
+		recvs     map[int]int // block → times received
+	}
+	msg := make([]byte, 50_000)
+	rand.New(rand.NewSource(11)).Read(msg)
+
+	runWith := func(t *testing.T, n, window int) []memberRecord {
+		grid := testGrid(t, n)
+		groups, states := makeGroup(t, grid, 1, core.GroupConfig{
+			BlockSize:   2048,
+			SendWindow:  window,
+			RecordStats: true,
+		}, true)
+		if err := groups[0].Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		grid.Run()
+		records := make([]memberRecord, n)
+		for i := range records {
+			if len(states[i].failures) != 0 {
+				t.Fatalf("window %d: member %d failed: %v", window, i, states[i].failures)
+			}
+			rec := memberRecord{
+				delivered: states[i].delivered,
+				sends:     map[int]int{},
+				recvs:     map[int]int{},
+			}
+			stats := groups[i].LastStats()
+			if stats == nil {
+				t.Fatalf("window %d: member %d has no stats", window, i)
+			}
+			for _, s := range stats.Sends {
+				if s.DoneAt == 0 {
+					t.Errorf("window %d: member %d send of block %d never completed", window, i, s.Block)
+				}
+				rec.sends[s.Block]++
+			}
+			for _, r := range stats.Recvs {
+				rec.recvs[r.Block]++
+			}
+			records[i] = rec
+		}
+		return records
+	}
+
+	for _, n := range []int{3, 8, 16} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			lockstep := runWith(t, n, 1)
+			windowed := runWith(t, n, 4)
+			for i := range lockstep {
+				a, b := lockstep[i], windowed[i]
+				if len(a.delivered) != 1 || len(b.delivered) != 1 {
+					t.Fatalf("member %d deliveries = %d/%d, want 1/1", i, len(a.delivered), len(b.delivered))
+				}
+				if i > 0 && !bytes.Equal(b.delivered[0], msg) {
+					t.Errorf("member %d windowed delivery differs from message", i)
+				}
+				if !bytes.Equal(a.delivered[0], b.delivered[0]) {
+					t.Errorf("member %d bytes differ between windows", i)
+				}
+				if !maps.Equal(a.sends, b.sends) {
+					t.Errorf("member %d send blocks differ: lockstep %v, windowed %v", i, a.sends, b.sends)
+				}
+				if !maps.Equal(a.recvs, b.recvs) {
+					t.Errorf("member %d recv blocks differ: lockstep %v, windowed %v", i, a.recvs, b.recvs)
+				}
+			}
+		})
 	}
 }

@@ -33,6 +33,15 @@ type GroupConfig struct {
 	// Generator chooses the multicast algorithm; nil selects the binomial
 	// pipeline, the paper's default.
 	Generator schedule.Generator
+	// SendWindow is how many block sends a member keeps posted
+	// concurrently. Sends still post in schedule order — the per-queue-
+	// pair FIFO guarantee depends on it — but with a window above 1 the
+	// next send posts as soon as its gates clear, without waiting for the
+	// previous block's completion, so the per-block completion round trip
+	// is hidden behind the wire (§4.3's decoupling carried to its
+	// conclusion). Completions are then tracked per work request, out of
+	// order. Zero selects the default of 4.
+	SendWindow int
 	// RecvWindow is how many receives a member keeps posted ahead of its
 	// arrivals. The paper's receivers "post only a few receives per
 	// group" and post more as needed (§4.2): the window is what paces
@@ -41,8 +50,8 @@ type GroupConfig struct {
 	// for one receiver's NIC — at the cost of a small per-block
 	// control-message bubble; larger windows hide that bubble but let
 	// rounds overlap and steal receive bandwidth from each other (the
-	// recv-window ablation benchmark quantifies the trade). Zero selects
-	// the default of 1.
+	// recv-window ablation benchmark quantifies the trade). Zero matches
+	// SendWindow, so the two ends of the pipeline widen together.
 	RecvWindow int
 	// Callbacks notify the application.
 	Callbacks Callbacks
@@ -65,11 +74,25 @@ type Group struct {
 
 	qps map[int]rdma.QueuePair // rank → queue pair
 
-	// readyBlocks buffers per-block readiness notices from receivers,
-	// keyed by sequence so a fast receiver can announce readiness for a
-	// sequence this node has not started yet.
-	readyBlocks map[blockReadyKey]bool
+	// readyCounts accumulates per-receiver readiness credit, keyed by
+	// (sequence, receiver rank) so a fast receiver can announce readiness
+	// for a sequence this node has not started yet. Each credit licenses
+	// one more scheduled send to that receiver; because both sides order
+	// their (sender, target) transfers by the same deterministic plan,
+	// a cumulative count is enough to agree on which blocks are licensed,
+	// and counts let receivers batch several notices into one message.
+	readyCounts map[readyKey]int
 	planCache   map[int]schedule.NodePlan
+
+	// Notice deferral: while a completion batch is being processed (see
+	// Engine.onCompletionBatch), outbound ready-for-block notices merge
+	// into noticeQ instead of hitting the control channel one by one; the
+	// batch handler flushes them — one credit-carrying message per
+	// (receiver sequence, source) — before releasing the lock. Credit is
+	// cumulative, so merging never changes what senders may do, only how
+	// many control messages say so.
+	noticeDefer bool
+	noticeQ     []queuedNotice
 
 	state     groupState
 	failure   error
@@ -120,8 +143,11 @@ func (e *Engine) CreateGroup(id GroupID, members []rdma.NodeID, cfg GroupConfig)
 	if cfg.Generator == nil {
 		cfg.Generator = schedule.New(schedule.BinomialPipeline)
 	}
+	if cfg.SendWindow <= 0 {
+		cfg.SendWindow = 4
+	}
 	if cfg.RecvWindow <= 0 {
-		cfg.RecvWindow = 1
+		cfg.RecvWindow = cfg.SendWindow
 	}
 	g := &Group{
 		engine:      e,
@@ -130,7 +156,7 @@ func (e *Engine) CreateGroup(id GroupID, members []rdma.NodeID, cfg GroupConfig)
 		rank:        -1,
 		cfg:         cfg,
 		qps:         make(map[int]rdma.QueuePair),
-		readyBlocks: make(map[blockReadyKey]bool),
+		readyCounts: make(map[readyKey]int),
 		state:       stateActive,
 		failedVia:   make(map[rdma.NodeID]bool),
 		closeAcks:   make(map[int]bool),
@@ -312,10 +338,39 @@ func (g *Group) qpTo(rank int) (rdma.QueuePair, error) {
 	return qp, nil
 }
 
+// queuedNotice is one deferred CtrlReadyBlock, addressed by rank.
+type queuedNotice struct {
+	rank int
+	m    CtrlMsg
+}
+
 // ctrlTo sends a control message to a rank, ignoring transport errors (a
-// destination that died will be reported through failure detection).
+// destination that died will be reported through failure detection). Ready
+// notices are merged into the deferral queue while a completion batch runs.
 func (g *Group) ctrlTo(rank int, m CtrlMsg) {
+	if g.noticeDefer && m.Kind == CtrlReadyBlock {
+		if m.Count <= 0 {
+			m.Count = 1
+		}
+		for i := range g.noticeQ {
+			if q := &g.noticeQ[i]; q.rank == rank && q.m.Seq == m.Seq {
+				q.m.Count += m.Count
+				return
+			}
+		}
+		g.noticeQ = append(g.noticeQ, queuedNotice{rank: rank, m: m})
+		return
+	}
 	_ = g.engine.ctrl.Send(g.members[rank], m)
+}
+
+// flushNoticesLocked drains the deferral queue to the control channel.
+func (g *Group) flushNoticesLocked() {
+	for i := range g.noticeQ {
+		_ = g.engine.ctrl.Send(g.members[g.noticeQ[i].rank], g.noticeQ[i].m)
+		g.noticeQ[i] = queuedNotice{}
+	}
+	g.noticeQ = g.noticeQ[:0]
 }
 
 // failLocked transitions the group to the failed state, attributing the
@@ -382,10 +437,15 @@ func (g *Group) onCtrlLocked(from rdma.NodeID, m CtrlMsg) []func() {
 		if fromRank < 0 {
 			return nil
 		}
-		// Buffer the notice: it may concern a sequence this node has not
+		// Credit the notice: it may concern a sequence this node has not
 		// started yet (a receiver that finished the previous message and
-		// prepared the next while this relayer is still draining).
-		g.readyBlocks[blockReadyKey{seq: m.Seq, to: fromRank, round: m.Round, block: m.Block}] = true
+		// prepared the next while this relayer is still draining). Count
+		// carries batched credit; legacy single notices carry zero.
+		inc := m.Count
+		if inc <= 0 {
+			inc = 1
+		}
+		g.readyCounts[readyKey{seq: m.Seq, to: fromRank}] += inc
 		if g.current != nil && g.current.seq == m.Seq {
 			return g.current.pumpSendsLocked()
 		}

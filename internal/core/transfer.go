@@ -5,15 +5,16 @@ import (
 	"rdmc/internal/schedule"
 )
 
-// blockReadyKey identifies one scheduled block transfer a receiver has
-// posted a buffer for. Readiness can arrive before the sender has started
-// the sequence (a fast receiver racing a slow relayer), so the group buffers
-// these keys rather than tying them to the active transfer.
-type blockReadyKey struct {
-	seq   int
-	to    int // rank of the receiver that is ready
-	round int
-	block int
+// readyKey identifies a receiver whose readiness credit is being counted
+// for one sequence. Readiness can arrive before the sender has started the
+// sequence (a fast receiver racing a slow relayer), so the group keeps the
+// counters rather than tying them to the active transfer. The schedule both
+// sides share orders each (sender, receiver) pair's transfers identically
+// (by round), so a plain count of posted receives identifies exactly which
+// scheduled sends are licensed.
+type readyKey struct {
+	seq int
+	to  int // rank of the receiver that is ready
 }
 
 // transfer is the per-message state machine of one group member.
@@ -33,10 +34,13 @@ type transfer struct {
 	readyReceivers map[int]bool
 	started        bool
 
-	// Send side: sends post one at a time in schedule order.
-	sendIdx   int
-	inflight  bool
-	sendsDone int
+	// Send side: sends post in schedule order, up to SendWindow of them
+	// concurrently; completions land per work request, out of order.
+	sendIdx       int    // next schedule index to post
+	sendsInFlight int    // posted, completion not yet seen
+	sendsDone     int    // completions seen
+	sendDone      []bool // per-schedule-index completion flags
+	sentTo        []int  // per-rank count of sends posted (consumed credit)
 
 	// Receive side: receives are posted through a sliding window of
 	// RecvWindow entries ahead of completions, pacing upstream senders.
@@ -59,6 +63,8 @@ func newTransfer(g *Group, pm pendingMsg) *transfer {
 		buf:  pm.buf,
 		have: make([]bool, k),
 	}
+	t.sendDone = make([]bool, len(t.np.Sends))
+	t.sentTo = make([]int, len(g.members))
 	if g.rank == 0 {
 		t.started = len(g.members) == 1
 		t.readyReceivers = make(map[int]bool, len(g.members)-1)
@@ -180,9 +186,15 @@ func (t *transfer) finishMemberSetupLocked(data []byte) []func() {
 // announced to its source with a ready-for-block notice, so senders never
 // transmit into unposted memory and, transitively, the whole pipeline stays
 // paced to receiver progress — the paper's "posts only a few receives per
-// group" discipline. It returns non-nil only on failure.
+// group" discipline. Notices for receives posted in one pass are batched
+// into a single credit-carrying message per source, so widening the window
+// does not multiply control traffic. It returns non-nil only on failure.
 func (t *transfer) postRecvWindowLocked() []func() {
 	g := t.g
+	// A window's worth of receives rarely spans more than a couple of
+	// sources; a small linear-scanned batch list stays on the stack.
+	var batchBuf [4]readyNotice
+	batch := batchBuf[:0]
 	for t.recvPosted < len(t.np.Recvs) && t.recvPosted-t.recvDone < g.cfg.RecvWindow {
 		idx := t.recvPosted
 		tr := t.np.Recvs[idx]
@@ -201,15 +213,38 @@ func (t *transfer) postRecvWindowLocked() []func() {
 			return g.failLocked(g.members[tr.From], true)
 		}
 		t.recvPosted++
-		g.ctrlTo(tr.From, CtrlMsg{
+		found := false
+		for i := range batch {
+			if batch[i].rank == tr.From {
+				batch[i].count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			batch = append(batch, readyNotice{rank: tr.From, round: tr.Round, block: tr.Block, count: 1})
+		}
+	}
+	for _, nb := range batch {
+		g.ctrlTo(nb.rank, CtrlMsg{
 			Kind:  CtrlReadyBlock,
 			Group: g.id,
 			Seq:   t.seq,
-			Round: tr.Round,
-			Block: tr.Block,
+			Round: nb.round, // first batched transfer, for observability
+			Block: nb.block,
+			Count: nb.count,
 		})
 	}
 	return nil
+}
+
+// readyNotice accumulates ready-for-block credit for one upstream source
+// during a single receive-window advance.
+type readyNotice struct {
+	rank  int
+	round int
+	block int
+	count int
 }
 
 // receiverReadyLocked gates the root's first send on every receiver having
@@ -229,16 +264,19 @@ func (t *transfer) receiverReadyLocked(rank int) []func() {
 	return t.pumpSendsLocked()
 }
 
-// pumpSendsLocked posts sends in schedule order, one in flight at a time,
-// each gated on (a) the block being locally present, (b) the target having
-// signalled readiness for exactly that scheduled transfer, and (c) the
-// root-level start barrier.
+// pumpSendsLocked posts sends in schedule order, up to SendWindow in flight
+// at a time, each gated on (a) the block being locally present, (b) the
+// target holding unconsumed readiness credit, and (c) the root-level start
+// barrier. Posting order never deviates from the schedule — a later send
+// whose gates are clear still waits behind an earlier send whose gates are
+// not — which preserves the per-queue-pair FIFO the receive side's window
+// accounting depends on.
 func (t *transfer) pumpSendsLocked() []func() {
 	g := t.g
 	if g.state != stateActive {
 		return nil
 	}
-	for !t.inflight && t.sendIdx < len(t.np.Sends) {
+	for t.sendsInFlight < g.cfg.SendWindow && t.sendIdx < len(t.np.Sends) {
 		if g.rank == 0 && !t.started {
 			return nil
 		}
@@ -246,8 +284,7 @@ func (t *transfer) pumpSendsLocked() []func() {
 		if !t.have[tr.Block] {
 			return nil
 		}
-		key := blockReadyKey{seq: t.seq, to: tr.To, round: tr.Round, block: tr.Block}
-		if !g.readyBlocks[key] {
+		if t.sentTo[tr.To] >= g.readyCounts[readyKey{seq: t.seq, to: tr.To}] {
 			return nil
 		}
 		qp, err := g.qpTo(tr.To)
@@ -263,7 +300,9 @@ func (t *transfer) pumpSendsLocked() []func() {
 		if err := qp.PostSend(t.blockBuf(tr.Block), uint32(t.size), wrID(t.seq, t.sendIdx)); err != nil {
 			return g.failLocked(g.members[tr.To], true)
 		}
-		t.inflight = true
+		t.sentTo[tr.To]++
+		t.sendsInFlight++
+		t.sendIdx++
 	}
 	return nil
 }
@@ -285,14 +324,18 @@ func (t *transfer) completionLocked(c rdma.Completion) []func() {
 }
 
 func (t *transfer) sendDoneLocked(idx int) []func() {
-	if idx != t.sendIdx || !t.inflight {
+	// Completions land per work request and may arrive out of post order
+	// across queue pairs (each pair is FIFO, but a window spans pairs).
+	if idx < 0 || idx >= t.sendIdx || t.sendDone[idx] {
 		return nil
 	}
-	t.inflight = false
-	t.sendIdx++
+	t.sendDone[idx] = true
+	t.sendsInFlight--
 	t.sendsDone++
-	if t.stats != nil && len(t.stats.Sends) > 0 {
-		t.stats.Sends[len(t.stats.Sends)-1].DoneAt = t.g.engine.host.Now()
+	if t.stats != nil && idx < len(t.stats.Sends) {
+		// Sends post in schedule order, so stats.Sends[idx] is the stamp
+		// this work request opened.
+		t.stats.Sends[idx].DoneAt = t.g.engine.host.Now()
 	}
 	if cbs := t.pumpSendsLocked(); cbs != nil {
 		return cbs
@@ -376,7 +419,7 @@ func (t *transfer) blockArrivedLocked(block int) []func() {
 // which "the associated memory region can be reused", which "might happen
 // before other receivers have finished getting the message" (§4.1).
 func (t *transfer) maybeDeliverLocked() []func() {
-	if t.recvDone < len(t.np.Recvs) || t.sendsDone < len(t.np.Sends) || t.inflight {
+	if t.recvDone < len(t.np.Recvs) || t.sendsDone < len(t.np.Sends) {
 		return nil
 	}
 	return t.deliverLocked()
@@ -386,9 +429,9 @@ func (t *transfer) deliverLocked() []func() {
 	g := t.g
 	g.delivered++
 	g.current = nil
-	for key := range g.readyBlocks {
+	for key := range g.readyCounts {
 		if key.seq == t.seq {
-			delete(g.readyBlocks, key)
+			delete(g.readyCounts, key)
 		}
 	}
 	if t.stats != nil {

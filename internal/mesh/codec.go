@@ -7,7 +7,7 @@ import (
 	"rdmc/internal/rdma"
 )
 
-// Control messages travel as fixed 34-byte frames. CtrlMsg is a flat record
+// Control messages travel as fixed 38-byte frames. CtrlMsg is a flat record
 // of small non-negative integers, so a hand-rolled codec beats a reflective
 // one on both allocation count (zero per message, in both directions) and
 // wire size; the control plane sits on every block's critical path (the
@@ -24,7 +24,8 @@ import (
 //	off 22 Block  uint32
 //	off 26 Node   uint32
 //	off 30 Total  uint32
-const ctrlWireLen = 34
+//	off 34 Count  uint32
+const ctrlWireLen = 38
 
 func encodeCtrl(buf *[ctrlWireLen]byte, m core.CtrlMsg) {
 	buf[0] = byte(m.Kind)
@@ -39,6 +40,7 @@ func encodeCtrl(buf *[ctrlWireLen]byte, m core.CtrlMsg) {
 	binary.BigEndian.PutUint32(buf[22:26], uint32(m.Block))
 	binary.BigEndian.PutUint32(buf[26:30], uint32(m.Node))
 	binary.BigEndian.PutUint32(buf[30:34], uint32(m.Total))
+	binary.BigEndian.PutUint32(buf[34:38], uint32(m.Count))
 }
 
 func decodeCtrl(buf *[ctrlWireLen]byte) core.CtrlMsg {
@@ -52,5 +54,6 @@ func decodeCtrl(buf *[ctrlWireLen]byte) core.CtrlMsg {
 		Block: int(binary.BigEndian.Uint32(buf[22:26])),
 		Node:  rdma.NodeID(binary.BigEndian.Uint32(buf[26:30])),
 		Total: int(binary.BigEndian.Uint32(buf[30:34])),
+		Count: int(binary.BigEndian.Uint32(buf[34:38])),
 	}
 }

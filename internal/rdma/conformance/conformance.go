@@ -42,6 +42,7 @@ func Run(t *testing.T, f Factory) {
 		{"SendRecvDeliversDataAndImmediate", testSendRecv},
 		{"VirtualSendCarriesNoBytes", testVirtualSend},
 		{"FIFOPerQueuePair", testFIFO},
+		{"WindowedBurstKeepsFIFOAndPerWRCompletions", testWindowedBurst},
 		{"EarlyArrivalBuffersUntilRecvPosted", testEarlyArrival},
 		{"DistinctTokensAreSeparateQueuePairs", testDistinctTokens},
 		{"OneSidedWriteUpdatesRegionAndWatcher", testOneSidedWrite},
@@ -177,6 +178,63 @@ func testFIFO(t *testing.T, h *Harness) {
 		if c.WRID != uint64(i) || c.Imm != uint32(i) {
 			t.Fatalf("completion %d out of order: %+v", i, c)
 		}
+	}
+}
+
+// testWindowedBurst is the transport-level contract behind the engine's send
+// window: many sends posted back to back with no completion in between must
+// still hit the wire in post order — even when a short block posted late
+// could overtake a large one in flight — and every work request must get
+// exactly one completion of its own. Payload sizes alternate large and tiny
+// to tempt a transport that races transfers into reordering them.
+func testWindowedBurst(t *testing.T, h *Harness) {
+	sa, sb := attach(h)
+	qa, qb := connect(t, h, 1)
+	const n = 32
+	sizes := make([]int, n)
+	payloads := make([][]byte, n)
+	for i := range sizes {
+		sizes[i] = 8 << 10
+		if i%3 == 2 {
+			sizes[i] = 16 // a runt every third send, tempting overtake
+		}
+		payloads[i] = bytes.Repeat([]byte{byte(i + 1)}, sizes[i])
+		if err := qb.PostRecv(rdma.MakeBuffer(make([]byte, 8<<10)), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		if err := qa.PostSend(rdma.MakeBuffer(p), uint32(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recvs := sb.waitN(t, h, n)
+	for i, c := range recvs[:n] {
+		if c.WRID != uint64(i) || c.Imm != uint32(i) {
+			t.Fatalf("recv %d out of order: %+v", i, c)
+		}
+		if c.Bytes != sizes[i] || !bytes.Equal(c.Data, payloads[i]) {
+			t.Fatalf("recv %d payload corrupted: %d bytes", i, c.Bytes)
+		}
+	}
+
+	sends := sa.waitN(t, h, n)
+	seen := make(map[uint64]bool, n)
+	for i, c := range sends[:n] {
+		if c.Op != rdma.OpSend || c.Status != rdma.StatusOK {
+			t.Fatalf("send completion %d = %+v", i, c)
+		}
+		if c.WRID != uint64(i) {
+			t.Fatalf("send completion %d has WRID %d, want FIFO order", i, c.WRID)
+		}
+		if seen[c.WRID] {
+			t.Fatalf("send WRID %d completed twice", c.WRID)
+		}
+		seen[c.WRID] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("got %d distinct send completions, want %d", len(seen), n)
 	}
 }
 

@@ -6,6 +6,12 @@ import (
 	"rdmc/internal/rdma"
 )
 
+// maxBatch bounds how many completions one dispatcher wakeup hands to a
+// batch handler. Large enough to amortize the consumer's per-batch work
+// (the engine takes one group lock per same-group run), small enough that a
+// slow handler cannot starve the channel senders behind a giant drain.
+const maxBatch = 256
+
 // CompletionQueue serializes a node's completions into its single installed
 // handler — the explicit object behind rdma.Provider.SetHandler and the
 // analogue of the paper's one shared hardware completion queue per node.
@@ -22,9 +28,17 @@ import (
 //
 // Either way the handler observes completions serially, which is the
 // contract the protocol engine is written against.
+//
+// A consumer may install a batch handler instead (SetBatchHandler): channel
+// mode then drains up to maxBatch queued completions per wakeup into one
+// slice, so the consumer's per-batch overhead (a group lock, say) is paid
+// once per drain rather than once per completion. Event mode delivers
+// single-element batches — its submit hook is already the serialization
+// point and there is no queue to drain.
 type CompletionQueue struct {
 	mu      sync.Mutex
 	handler func(rdma.Completion)
+	batch   func([]rdma.Completion)
 
 	// Event mode.
 	submit func(fn func())
@@ -58,10 +72,21 @@ func NewChannelCQ(buffer int) *CompletionQueue {
 	return q
 }
 
-// SetHandler installs the completion consumer.
+// SetHandler installs the per-completion consumer, replacing any batch
+// handler.
 func (q *CompletionQueue) SetHandler(h func(rdma.Completion)) {
 	q.mu.Lock()
 	q.handler = h
+	q.batch = nil
+	q.mu.Unlock()
+}
+
+// SetBatchHandler installs a batch consumer, replacing any per-completion
+// handler. See CompletionQueue's comment for the delivery discipline.
+func (q *CompletionQueue) SetBatchHandler(h func([]rdma.Completion)) {
+	q.mu.Lock()
+	q.batch = h
+	q.handler = nil
 	q.mu.Unlock()
 }
 
@@ -70,7 +95,7 @@ func (q *CompletionQueue) SetHandler(h func(rdma.Completion)) {
 func (q *CompletionQueue) HasHandler() bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.handler != nil
+	return q.handler != nil || q.batch != nil
 }
 
 // Post delivers one completion. Event mode submits it to the provider's
@@ -79,12 +104,14 @@ func (q *CompletionQueue) HasHandler() bool {
 func (q *CompletionQueue) Post(c rdma.Completion) {
 	if q.submit != nil {
 		q.mu.Lock()
-		h := q.handler
+		h, bh := q.handler, q.batch
 		q.mu.Unlock()
-		if h == nil {
-			return
+		switch {
+		case bh != nil:
+			q.submit(func() { bh([]rdma.Completion{c}) })
+		case h != nil:
+			q.submit(func() { h(c) })
 		}
-		q.submit(func() { h(c) })
 		return
 	}
 	select {
@@ -94,13 +121,30 @@ func (q *CompletionQueue) Post(c rdma.Completion) {
 }
 
 // dispatch drains the channel serially; on Close it delivers whatever is
-// still queued and exits.
+// still queued and exits. With a batch handler installed it slurps every
+// already-queued completion (up to maxBatch) per wakeup, reusing one backing
+// slice across wakeups so steady-state dispatch allocates nothing.
 func (q *CompletionQueue) dispatch() {
 	defer q.wg.Done()
+	buf := make([]rdma.Completion, 0, maxBatch)
 	deliver := func(c rdma.Completion) {
 		q.mu.Lock()
-		h := q.handler
+		h, bh := q.handler, q.batch
 		q.mu.Unlock()
+		if bh != nil {
+			buf = append(buf[:0], c)
+			for len(buf) < maxBatch {
+				select {
+				case more := <-q.ch:
+					buf = append(buf, more)
+				default:
+					bh(buf)
+					return
+				}
+			}
+			bh(buf)
+			return
+		}
 		if h != nil {
 			h(c)
 		}

@@ -54,6 +54,11 @@ func (b *Base) NodeID() rdma.NodeID { return b.id }
 // SetHandler implements rdma.Provider.
 func (b *Base) SetHandler(h func(rdma.Completion)) { b.cq.SetHandler(h) }
 
+// SetBatchHandler implements rdma.BatchProvider: completions are drained to
+// the handler in slices (channel-mode dispatch) or single-element batches
+// (event-mode dispatch), replacing any per-completion handler.
+func (b *Base) SetBatchHandler(h func([]rdma.Completion)) { b.cq.SetBatchHandler(h) }
+
 // Complete posts one completion to the node's queue.
 func (b *Base) Complete(c rdma.Completion) { b.cq.Post(c) }
 

@@ -164,6 +164,20 @@ type Provider interface {
 	Close() error
 }
 
+// BatchProvider is optionally implemented by providers whose completion
+// dispatch can drain several completions per wakeup. A consumer that installs
+// a batch handler receives non-empty slices in the same serial order the
+// per-completion handler would have observed; the slice is only valid for the
+// duration of the call (the dispatcher reuses it). Installing a batch handler
+// replaces any per-completion handler.
+//
+// Batching exists for lock amortization: the RDMC engine routes completions
+// to per-group state machines behind per-group locks, and a batch lets it
+// take each lock once per drained run instead of once per block.
+type BatchProvider interface {
+	SetBatchHandler(h func([]Completion))
+}
+
 // Errors shared by providers.
 var (
 	// ErrBroken is returned by posts on a queue pair whose connection has

@@ -22,12 +22,18 @@ import (
 	"rdmc/internal/simnet"
 )
 
+// defaultQPWindow is how many work requests one simulated queue pair keeps
+// in flight concurrently — the NIC's send pipelining depth. Deep enough to
+// cover the engine's send window sweep (W ≤ 8) without queueing in the QP.
+const defaultQPWindow = 8
+
 // Network creates providers that share one simulated cluster and pairs their
 // queue-pair endpoints by (node, node, token) rendezvous.
 type Network struct {
 	cluster    *simnet.Cluster
 	rendezvous *nicbase.Rendezvous[*queuePair]
 	providers  map[rdma.NodeID]*Provider
+	qpWindow   int
 }
 
 // NewNetwork wraps a simulated cluster.
@@ -36,7 +42,18 @@ func NewNetwork(cluster *simnet.Cluster) *Network {
 		cluster:    cluster,
 		rendezvous: nicbase.NewRendezvous[*queuePair](),
 		providers:  make(map[rdma.NodeID]*Provider),
+		qpWindow:   defaultQPWindow,
 	}
+}
+
+// SetQPWindow overrides how many work requests each queue pair executes
+// concurrently (1 restores the strictly serial pre-window behavior). It
+// affects queue pairs created after the call.
+func (n *Network) SetQPWindow(w int) {
+	if w < 1 {
+		w = 1
+	}
+	n.qpWindow = w
 }
 
 // Cluster returns the underlying simulated cluster.
@@ -86,7 +103,7 @@ func (p *Provider) Connect(peer rdma.NodeID, token uint64) (rdma.QueuePair, erro
 	if int(peer) < 0 || int(peer) >= p.net.cluster.Config().Nodes {
 		return nil, fmt.Errorf("simnic: peer %d outside cluster of %d nodes", peer, p.net.cluster.Config().Nodes)
 	}
-	qp := &queuePair{local: p, peer: peer, token: token}
+	qp := &queuePair{local: p, peer: peer, token: token, window: p.net.qpWindow}
 	if err := p.AddQP(nicbase.QPKey{Peer: peer, Token: token}, qp); err != nil {
 		return nil, err
 	}
@@ -137,15 +154,28 @@ type arrival struct {
 	offset int
 }
 
-// queuePair is one simulated RC endpoint. Sends execute one at a time in
-// FIFO order; receives match arrivals in order.
+// sendEntry is one launched work request awaiting in-order delivery: its
+// flow may finish out of order (a short final block racing full-size
+// predecessors through the fair-shared fabric), so completion and arrival
+// are held until every earlier entry has landed — the FIFO delivery an RC
+// queue pair guarantees no matter how deeply the NIC pipelines.
+type sendEntry struct {
+	wr   sendWR
+	done bool
+}
+
+// queuePair is one simulated RC endpoint. Up to window work requests execute
+// concurrently as overlapping fabric flows (the NIC keeping its pipe full),
+// while completions and arrivals are delivered strictly in post order;
+// receives match arrivals in order.
 type queuePair struct {
 	local    *Provider
 	peer     rdma.NodeID
 	token    uint64
+	window   int
 	remote   *queuePair
-	sends    []sendWR
-	inflight bool
+	pending  []sendWR     // posted, not yet launched
+	flight   []*sendEntry // launched, in post order (reorder buffer)
 	recvs    []recvWR
 	arrivals []arrival
 	broken   bool
@@ -164,7 +194,7 @@ func (q *queuePair) PostSend(buf rdma.Buffer, imm uint32, wrID uint64) error {
 	if err := q.postCheck(); err != nil {
 		return err
 	}
-	q.sends = append(q.sends, sendWR{buf: buf, imm: imm, wrID: wrID})
+	q.pending = append(q.pending, sendWR{buf: buf, imm: imm, wrID: wrID})
 	q.maybeStart()
 	return nil
 }
@@ -174,7 +204,7 @@ func (q *queuePair) PostWrite(region rdma.RegionID, offset int, data []byte, wrI
 	if err := q.postCheck(); err != nil {
 		return err
 	}
-	q.sends = append(q.sends, sendWR{
+	q.pending = append(q.pending, sendWR{
 		write:  true,
 		region: region,
 		offset: offset,
@@ -218,26 +248,35 @@ func (q *queuePair) postCheck() error {
 	return q.local.CheckPost()
 }
 
-// maybeStart launches the next queued send if the wire is idle and the
-// endpoints are paired.
+// maybeStart launches queued sends until the window is full, the queue is
+// empty, or the endpoints are not yet paired. Each launch pays the software
+// post cost through the CPU model (offload bypasses it) and then becomes a
+// concurrent fabric flow.
 func (q *queuePair) maybeStart() {
-	if q.inflight || q.broken || q.remote == nil || len(q.sends) == 0 {
+	if q.broken || q.remote == nil {
 		return
 	}
-	q.inflight = true
-	wr := q.sends[0]
-	start := func() { q.transmit(wr) }
-	if q.local.offload {
-		start()
-		return
+	for len(q.flight) < q.window && len(q.pending) > 0 {
+		wr := q.pending[0]
+		q.pending = q.pending[1:]
+		e := &sendEntry{wr: wr}
+		q.flight = append(q.flight, e)
+		start := func() { q.transmit(e) }
+		if q.local.offload {
+			start()
+			continue
+		}
+		q.local.cpu().Exec(q.local.cpu().Config().PostCost, start)
 	}
-	q.local.cpu().Exec(q.local.cpu().Config().PostCost, start)
 }
 
-func (q *queuePair) transmit(wr sendWR) {
+func (q *queuePair) transmit(e *sendEntry) {
+	if q.broken {
+		return
+	}
 	src := simnet.NodeID(q.local.NodeID())
 	dst := simnet.NodeID(q.peer)
-	q.local.net.cluster.Transfer(src, dst, float64(wr.buf.Len), func(broken bool) {
+	q.local.net.cluster.Transfer(src, dst, float64(e.wr.buf.Len), func(broken bool) {
 		if q.broken {
 			return
 		}
@@ -245,8 +284,19 @@ func (q *queuePair) transmit(wr sendWR) {
 			q.breakBoth()
 			return
 		}
-		q.sends = q.sends[1:]
-		q.inflight = false
+		e.done = true
+		q.drainFlight()
+	})
+}
+
+// drainFlight delivers finished flows in post order: completion to the local
+// node, arrival to the remote, head of the window first. A flow that landed
+// ahead of an unfinished predecessor waits in the reorder buffer.
+func (q *queuePair) drainFlight() {
+	for !q.broken && len(q.flight) > 0 && q.flight[0].done {
+		e := q.flight[0]
+		q.flight = q.flight[1:]
+		wr := e.wr
 		op := rdma.OpSend
 		if wr.write {
 			op = rdma.OpWrite
@@ -267,8 +317,8 @@ func (q *queuePair) transmit(wr sendWR) {
 			region: wr.region,
 			offset: wr.offset,
 		}, wr.data)
-		q.maybeStart()
-	})
+	}
+	q.maybeStart()
 }
 
 func (q *queuePair) onArrival(a arrival, writeData []byte) {
@@ -319,13 +369,20 @@ func (q *queuePair) breakBoth() {
 	}
 }
 
-// breakConn fails every outstanding work request on this endpoint.
+// breakConn fails every outstanding work request on this endpoint, launched
+// window entries first (post order), then unlaunched sends.
 func (q *queuePair) breakConn() {
 	if q.broken {
 		return
 	}
 	q.broken = true
-	for _, wr := range q.sends {
+	failed := make([]sendWR, 0, len(q.flight)+len(q.pending))
+	for _, e := range q.flight {
+		failed = append(failed, e.wr)
+	}
+	failed = append(failed, q.pending...)
+	q.flight, q.pending = nil, nil
+	for _, wr := range failed {
 		op := rdma.OpSend
 		if wr.write {
 			op = rdma.OpWrite
@@ -338,7 +395,6 @@ func (q *queuePair) breakConn() {
 			WRID:   wr.wrID,
 		})
 	}
-	q.sends = nil
 	for _, wr := range q.recvs {
 		q.local.Complete(rdma.Completion{
 			Op:     rdma.OpRecv,

@@ -290,3 +290,58 @@ func TestLargeTransferIntegrity(t *testing.T) {
 		t.Error("4 MB transfer corrupted")
 	}
 }
+
+// TestRecvPathCounters proves the receive fast path stays copy-free: frames
+// whose receive is posted before they arrive must land directly in the
+// posted buffer (direct), while only true early arrivals stage through a
+// pooled buffer and pay a copy (staged).
+func TestRecvPathCounters(t *testing.T) {
+	a, b, sa, sb := newPair(t)
+	qa, _ := a.Connect(1, 5)
+	qb, _ := b.Connect(0, 5)
+
+	// Phase 1: receives posted ahead of every send — all direct.
+	const pre = 8
+	payload := bytes.Repeat([]byte{0xab}, 4096)
+	for i := 0; i < pre; i++ {
+		if err := qb.PostRecv(rdma.MakeBuffer(make([]byte, len(payload))), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The posted-recv count is racy against the reader goroutine only when
+	// sends overlap posting; posting first then sending serializes it.
+	for i := 0; i < pre; i++ {
+		if err := qa.PostSend(rdma.MakeBuffer(payload), 0, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sb.waitN(t, pre)
+	stats := b.RecvStats()
+	if stats.DirectFrames != pre || stats.StagedFrames != 0 {
+		t.Fatalf("pre-posted phase: stats = %+v, want %d direct and 0 staged", stats, pre)
+	}
+
+	// Phase 2: a send with no receive posted must stage.
+	if err := qa.PostSend(rdma.MakeBuffer(payload), 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	sa.waitN(t, pre+1)
+	deadline := time.Now().Add(10 * time.Second)
+	for b.RecvStats().StagedFrames == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("early arrival never staged")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := qb.PostRecv(rdma.MakeBuffer(make([]byte, len(payload))), 101); err != nil {
+		t.Fatal(err)
+	}
+	recvs := sb.waitN(t, pre+1)
+	if !bytes.Equal(recvs[pre].Data, payload) {
+		t.Error("staged arrival corrupted")
+	}
+	stats = b.RecvStats()
+	if stats.DirectFrames != pre || stats.StagedFrames != 1 || stats.StagedBytes != uint64(len(payload)) {
+		t.Fatalf("staged phase: stats = %+v, want %d direct, 1 staged, %d staged bytes", stats, pre, len(payload))
+	}
+}

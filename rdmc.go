@@ -104,9 +104,14 @@ type GroupConfig struct {
 	// RackOf maps each member rank to a rack index, required by (and only
 	// meaningful for) HybridBinomial.
 	RackOf []int
+	// SendWindow is how many block sends each member keeps in flight
+	// concurrently; sends still post in schedule order. Zero selects the
+	// default of 4 (see the design notes in DESIGN.md).
+	SendWindow int
 	// RecvWindow is how many receives each member keeps posted ahead of
-	// its arrivals; zero selects the default (see the design notes in
-	// DESIGN.md — 1 keeps the pipeline in lockstep).
+	// its arrivals; zero matches SendWindow so the pipeline widens at
+	// both ends together (see the design notes in DESIGN.md — 1 keeps
+	// the pipeline in lockstep).
 	RecvWindow int
 	// RecordStats captures per-message timings (Table 1 / Figure 5).
 	RecordStats bool
@@ -131,6 +136,7 @@ func (c GroupConfig) coreConfig(cbs Callbacks) (core.GroupConfig, error) {
 	return core.GroupConfig{
 		BlockSize:   c.BlockSize,
 		Generator:   gen,
+		SendWindow:  c.SendWindow,
 		RecvWindow:  c.RecvWindow,
 		RecordStats: c.RecordStats,
 		Callbacks: core.Callbacks{
