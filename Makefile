@@ -27,6 +27,6 @@ bench-smoke:
 # Machine-readable send-window numbers: standard testing-package benchmark
 # output (benchstat-compatible Output lines) wrapped in test2json events.
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkSendWindow|BenchmarkConcurrentGroups' -benchtime 5x -count 1 -json . > BENCH_sendwindow.json
+	$(GO) test -run xxx -bench 'BenchmarkSendWindow|BenchmarkConcurrentGroups|BenchmarkNodePlan' -benchtime 5x -count 1 -json . > BENCH_sendwindow.json
 
 check: build vet test race

@@ -81,6 +81,38 @@ func BenchmarkGeneralNPlanGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkNodePlan compares the two ways a group member can learn its own
+// schedule: materializing the full O(n·k) plan and splitting it (the old hot
+// path, kept here as the baseline), versus the rank-local NodePlan fast path.
+// For power-of-two binomial groups the fast path is closed-form O(log n + k),
+// so its cost should stay flat as n grows from 16 to 512 while the full-plan
+// baseline grows linearly.
+func BenchmarkNodePlan(b *testing.B) {
+	const blocks = 256
+	gen := schedule.New(schedule.BinomialPipeline)
+	for _, n := range []int{16, 64, 512} {
+		rank := n / 2 // a mid-tree rank with both sends and receives
+		b.Run(fmt.Sprintf("full/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				np := gen.Plan(n, blocks).PerNode()[rank]
+				if len(np.Recvs) != blocks {
+					b.Fatalf("rank %d received %d blocks", rank, len(np.Recvs))
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("rank/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				np := gen.NodePlan(n, blocks, rank)
+				if len(np.Recvs) != blocks {
+					b.Fatalf("rank %d received %d blocks", rank, len(np.Recvs))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkClosedFormSend measures the §4.4 closed-form send rule itself.
 func BenchmarkClosedFormSend(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -6,16 +6,25 @@
 //	rdmcbench -list
 //	rdmcbench -exp fig4a [-full]
 //	rdmcbench -all [-full]
+//	rdmcbench -exp fig8 -full -cpuprofile fig8.pprof
 //
 // Each experiment prints the same rows or series the paper reports, with the
 // paper's qualitative result noted for comparison. -full uses the paper's
 // complete parameter ranges; the default trims sweeps for fast runs.
+//
+// With -all, experiments run concurrently — each owns a private simulation,
+// so they share nothing but the process — while the reports print in the
+// fixed registry order, byte-identical to a serial run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync"
 	"time"
 
 	"rdmc/internal/bench"
@@ -31,13 +40,41 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("rdmcbench", flag.ContinueOnError)
 	var (
-		list = fs.Bool("list", false, "list experiment ids")
-		exp  = fs.String("exp", "", "experiment id to run")
-		all  = fs.Bool("all", false, "run every experiment")
-		full = fs.Bool("full", false, "use the paper's full parameter ranges")
+		list       = fs.Bool("list", false, "list experiment ids")
+		exp        = fs.String("exp", "", "experiment id to run")
+		all        = fs.Bool("all", false, "run every experiment")
+		full       = fs.Bool("full", false, "use the paper's full parameter ranges")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("rdmcbench: cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("rdmcbench: cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rdmcbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rdmcbench: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	registry := bench.Experiments()
@@ -54,15 +91,15 @@ func run(args []string) error {
 		return nil
 
 	case *all:
-		for _, id := range bench.Order() {
-			if err := runOne(registry, id, scale); err != nil {
-				return err
-			}
-		}
-		return nil
+		return runAll(registry, scale)
 
 	case *exp != "":
-		return runOne(registry, *exp, scale)
+		report, err := renderOne(registry, *exp, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+		return nil
 
 	default:
 		fs.Usage()
@@ -70,14 +107,54 @@ func run(args []string) error {
 	}
 }
 
-func runOne(registry map[string]bench.Runner, id string, scale bench.Scale) error {
+// runAll executes every experiment concurrently. Each runner builds its own
+// deployments (every deployment owns a private simnet.Sim, so virtual clocks
+// never interact), and the rendered reports are buffered and printed in
+// registry order, making the output deterministic regardless of completion
+// order.
+func runAll(registry map[string]bench.Runner, scale bench.Scale) error {
+	ids := bench.Order()
+	reports := make([]string, len(ids))
+	errs := make([]error, len(ids))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			// Runners panic on internal failure; turn that into an error so
+			// one broken experiment reports itself instead of tearing down
+			// the whole concurrent batch mid-print.
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("panic: %v", r)
+				}
+			}()
+			reports[i], errs[i] = renderOne(registry, id, scale)
+		}(i, id)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		if errs[i] != nil {
+			return fmt.Errorf("rdmcbench: %s: %w", id, errs[i])
+		}
+		fmt.Print(reports[i])
+	}
+	fmt.Printf("(all %d experiments in %.1fs wall time)\n", len(ids), time.Since(start).Seconds())
+	return nil
+}
+
+// renderOne runs a single experiment and returns its printed form, including
+// the per-experiment wall time line.
+func renderOne(registry map[string]bench.Runner, id string, scale bench.Scale) (string, error) {
 	runner, ok := registry[id]
 	if !ok {
-		return fmt.Errorf("rdmcbench: unknown experiment %q (try -list)", id)
+		return "", fmt.Errorf("rdmcbench: unknown experiment %q (try -list)", id)
 	}
 	start := time.Now()
 	report := runner(scale)
-	fmt.Print(report.String())
-	fmt.Printf("(generated in %.1fs wall time)\n\n", time.Since(start).Seconds())
-	return nil
+	var sb strings.Builder
+	sb.WriteString(report.String())
+	fmt.Fprintf(&sb, "(generated in %.1fs wall time)\n\n", time.Since(start).Seconds())
+	return sb.String(), nil
 }

@@ -33,7 +33,13 @@
 // *Locked method — must not call Engine.Close, CreateGroup, or any other
 // path that takes the gate; application callbacks are returned out of the
 // *Locked methods and run after the group lock is released precisely so they
-// may re-enter the engine freely.
+// may re-enter the engine freely. Schedule planning (Group.nodePlan) may
+// consult the schedule package's process-wide plan cache while holding a
+// Group.mu: that cache synchronizes only on its own sync.Map and per-entry
+// sync.Once — it never touches engine or group locks — so the first member
+// to need a plan computes it while any concurrent member blocks on the
+// entry's Once, and no lock-order edge to Engine.mu or another Group.mu is
+// created.
 package core
 
 import (

@@ -84,7 +84,11 @@ func newTransfer(g *Group, pm pendingMsg) *transfer {
 }
 
 // nodePlan computes (and caches per block count) this member's slice of the
-// group's schedule.
+// group's schedule. It uses the generator's rank-local fast path — the
+// closed-form generators answer in O(l+k) without ever materializing the
+// global transfer list; the rest resolve through the schedule package's
+// process-wide plan cache, so co-located members of the same geometry share
+// one immutable table instead of each recomputing the plan.
 func (g *Group) nodePlan(k int) schedule.NodePlan {
 	if g.planCache == nil {
 		g.planCache = make(map[int]schedule.NodePlan)
@@ -92,8 +96,7 @@ func (g *Group) nodePlan(k int) schedule.NodePlan {
 	if np, ok := g.planCache[k]; ok {
 		return np
 	}
-	plan := g.cfg.Generator.Plan(len(g.members), k)
-	np := plan.PerNode()[g.rank]
+	np := g.cfg.Generator.NodePlan(len(g.members), k, g.rank)
 	g.planCache[k] = np
 	return np
 }

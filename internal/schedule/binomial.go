@@ -40,6 +40,55 @@ func (BinomialPipelineGen) Plan(nodes, blocks int) Plan {
 	return Plan{Nodes: nodes, Blocks: blocks, Transfers: circulantPlan(nodes, blocks, nil)}
 }
 
+// NodePlan implements Generator. For power-of-two sizes rank i's sends come
+// straight from ClosedFormSend, and its receives from the mirrored sender
+// relation: the partner i⊕2^(j mod l) sending at step j targets exactly i,
+// so evaluating the closed form for the partner at every step enumerates
+// rank i's k receives. One rank's plan therefore costs O(l+k) time with
+// exact-size allocations and no global plan. Non-power-of-two sizes have no
+// closed form; their circulant plan is computed once per (n, k) in the
+// process-wide cache and shared by every caller.
+func (BinomialPipelineGen) NodePlan(nodes, blocks, rank int) NodePlan {
+	checkArgs(nodes, blocks)
+	checkRank(nodes, rank)
+	if nodes == 1 {
+		return NodePlan{}
+	}
+	if nodes&(nodes-1) != 0 {
+		return cachedNodePlan(planKey{algo: "circulant", nodes: nodes, blocks: blocks}, rank, func() Plan {
+			return BinomialPipelineGen{}.Plan(nodes, blocks)
+		})
+	}
+	l := log2Ceil(nodes)
+	steps := l + blocks - 1
+	nSends := 0
+	for j := 0; j < steps; j++ {
+		if _, _, ok := ClosedFormSend(l, blocks, rank, j); ok {
+			nSends++
+		}
+	}
+	var np NodePlan
+	if nSends > 0 {
+		np.Sends = make([]Transfer, 0, nSends)
+		for j := 0; j < steps; j++ {
+			if b, to, ok := ClosedFormSend(l, blocks, rank, j); ok {
+				np.Sends = append(np.Sends, Transfer{Round: j, From: rank, To: to, Block: b})
+			}
+		}
+	}
+	if rank != 0 {
+		// Every non-root rank receives each block exactly once: k receives.
+		np.Recvs = make([]Transfer, 0, blocks)
+		for j := 0; j < steps; j++ {
+			partner := rank ^ (1 << (j % l))
+			if b, _, ok := ClosedFormSend(l, blocks, partner, j); ok {
+				np.Recvs = append(np.Recvs, Transfer{Round: j, From: partner, To: rank, Block: b})
+			}
+		}
+	}
+	return np
+}
+
 // ClosedFormSend evaluates the paper's §4.4 send scheme directly: at step j
 // in a 2^l-node group sending k blocks, node i sends block b to node
 // i⊕2^(j%l). ok is false when the node sends nothing that step (the paper's
@@ -67,6 +116,8 @@ func ClosedFormSend(l, k, i, j int) (b, to int, ok bool) {
 func closedFormPlan(n, k int) Plan {
 	l := log2Ceil(n)
 	p := Plan{Nodes: n, Blocks: k}
+	// Every transfer delivers one new block to one of the n−1 receivers.
+	p.Transfers = make([]Transfer, 0, (n-1)*k)
 	steps := l + k - 1
 	for j := 0; j < steps; j++ {
 		for i := 0; i < n; i++ {
@@ -122,7 +173,12 @@ func circulantPlan(n, k int, avail []int) []Transfer {
 	}
 
 	limit := maxAvail + 4*(l+k) + 64
-	var out []Transfer
+	// Every transfer delivers one new block to one of the n−1 non-root
+	// nodes, so the output size is exactly (n−1)·k; the per-round delivery
+	// scratch is hoisted out of the loop and reused across rounds.
+	out := make([]Transfer, 0, (n-1)*k)
+	type delivery struct{ node, block int }
+	arrived := make([]delivery, 0, n)
 	for round := 0; !has.complete(); round++ {
 		if round > limit {
 			panic(fmt.Sprintf("schedule: binomial pipeline failed to converge for n=%d k=%d", n, k))
@@ -136,8 +192,7 @@ func circulantPlan(n, k int, avail []int) []Transfer {
 			}
 		}
 		d := round % l
-		type delivery struct{ node, block int }
-		var arrived []delivery
+		arrived = arrived[:0]
 		for i := 0; i < n; i++ {
 			to := (i + 1<<d) % n
 			if to == 0 || to == i {

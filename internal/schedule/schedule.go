@@ -69,15 +69,45 @@ type NodePlan struct {
 
 // PerNode splits the plan by rank. Both lists are ordered by round (ties by
 // plan order, which generators keep deterministic).
+//
+// The split is allocation-exact and sort-free in the common case: a first
+// pass counts each rank's transfers so every slice is sized in one shot, and
+// the stable sort runs only if some rank's transfers arrived out of round
+// order — every built-in generator except the hybrid (whose two phases
+// interleave rounds) emits them already ordered.
 func (p Plan) PerNode() []NodePlan {
 	nodes := make([]NodePlan, p.Nodes)
+	counts := make([]int, 2*p.Nodes) // sends in [0,n), recvs in [n,2n)
 	for _, tr := range p.Transfers {
-		nodes[tr.From].Sends = append(nodes[tr.From].Sends, tr)
-		nodes[tr.To].Recvs = append(nodes[tr.To].Recvs, tr)
+		counts[tr.From]++
+		counts[p.Nodes+tr.To]++
 	}
 	for i := range nodes {
-		sortStable(nodes[i].Sends)
-		sortStable(nodes[i].Recvs)
+		if c := counts[i]; c > 0 {
+			nodes[i].Sends = make([]Transfer, 0, c)
+		}
+		if c := counts[p.Nodes+i]; c > 0 {
+			nodes[i].Recvs = make([]Transfer, 0, c)
+		}
+	}
+	ordered := true
+	for _, tr := range p.Transfers {
+		s := nodes[tr.From].Sends
+		if n := len(s); n > 0 && s[n-1].Round > tr.Round {
+			ordered = false
+		}
+		nodes[tr.From].Sends = append(s, tr)
+		r := nodes[tr.To].Recvs
+		if n := len(r); n > 0 && r[n-1].Round > tr.Round {
+			ordered = false
+		}
+		nodes[tr.To].Recvs = append(r, tr)
+	}
+	if !ordered {
+		for i := range nodes {
+			sortStable(nodes[i].Sends)
+			sortStable(nodes[i].Recvs)
+		}
 	}
 	return nodes
 }
@@ -179,6 +209,16 @@ type Generator interface {
 	// It panics if nodes < 1 or blocks < 1; plans for a single node are
 	// empty.
 	Plan(nodes, blocks int) Plan
+	// NodePlan computes rank's slice of Plan(nodes, blocks) without
+	// materializing the global transfer list: the result is element-for-
+	// element identical to Plan(nodes, blocks).PerNode()[rank]. Generators
+	// with a per-rank closed form (the paper's §4.4 "each node can compute
+	// its send schedule directly") answer in time proportional to the
+	// rank's own transfers; the rest share one immutable plan table per
+	// (algorithm, n, k) through the process-wide cache in nodeplan.go. The
+	// returned slices may be shared across callers and must not be
+	// mutated. It panics on invalid sizes or an out-of-range rank.
+	NodePlan(nodes, blocks, rank int) NodePlan
 }
 
 // Algorithm enumerates the built-in generators.
@@ -237,6 +277,12 @@ func Algorithms() []Algorithm {
 func checkArgs(nodes, blocks int) {
 	if nodes < 1 || blocks < 1 {
 		panic(fmt.Sprintf("schedule: invalid plan size %d nodes × %d blocks", nodes, blocks))
+	}
+}
+
+func checkRank(nodes, rank int) {
+	if rank < 0 || rank >= nodes {
+		panic(fmt.Sprintf("schedule: rank %d out of range for %d nodes", rank, nodes))
 	}
 }
 

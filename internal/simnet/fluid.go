@@ -17,6 +17,7 @@ type Resource struct {
 	name     string
 	capacity float64 // bytes per second
 	flows    []*Flow
+	fab      *Fabric // the fabric that last routed a flow across this resource
 }
 
 // NewResource returns a resource with the given capacity in bytes per second.
@@ -33,9 +34,28 @@ func (r *Resource) Name() string { return r.name }
 // Capacity returns the resource capacity in bytes per second.
 func (r *Resource) Capacity() float64 { return r.capacity }
 
-// SetCapacity changes the capacity. Rates of flows crossing the resource are
-// re-allocated on the next fabric recomputation touching it.
-func (r *Resource) SetCapacity(c float64) { r.capacity = c }
+// SetCapacity changes the capacity, immediately re-allocating the affected
+// component: flows crossing the resource (and everything transitively
+// sharing a resource with them) are settled — charged for progress at their
+// old rates up to now — before the capacity changes, and their rates and
+// completion events are then recomputed under the new allocation. Without
+// the settle/reallocate pass, in-flight flows would keep stale rates until
+// an unrelated flow event happened to touch their component. A resource
+// carrying no flows just records the new value.
+func (r *Resource) SetCapacity(c float64) {
+	if c <= 0 {
+		panic(fmt.Sprintf("simnet: resource %q capacity must be positive", r.name))
+	}
+	if r.fab == nil || len(r.flows) == 0 {
+		r.capacity = c
+		return
+	}
+	f := r.fab
+	comp := f.component([]*Resource{r})
+	f.settle(comp)
+	r.capacity = c
+	f.reallocate(comp)
+}
 
 // ActiveFlows returns the number of flows currently crossing the resource.
 func (r *Resource) ActiveFlows() int { return len(r.flows) }
@@ -77,6 +97,15 @@ func (f *Flow) Rate() float64 { return f.rate }
 type Fabric struct {
 	sim    *Sim
 	nextID int64
+
+	// reallocate scratch, reused across calls to keep the per-flow-event
+	// allocation count flat in large simulations. Safe because the fabric
+	// is driven from the single-threaded event loop and reallocate never
+	// reenters itself.
+	resIdx    map[*Resource]int32 // resource → index into states
+	resources []*Resource
+	states    []resState
+	prevRates []float64
 }
 
 // NewFabric returns a fabric driven by the given simulation clock.
@@ -102,6 +131,7 @@ func (f *Fabric) StartFlow(size float64, path []*Resource, onDone func()) *Flow 
 	comp := f.component(fl.path)
 	f.settle(comp)
 	for _, r := range fl.path {
+		r.fab = f
 		r.addFlow(fl)
 	}
 	comp = append(comp, fl)
@@ -195,30 +225,38 @@ func (f *Fabric) settle(flows []*Flow) {
 }
 
 // reallocate runs max-min waterfilling over the component and reschedules
-// each member flow's completion event.
+// each member flow's completion event. Its working set (resource index,
+// per-resource residual state, previous rates) lives on the Fabric and is
+// reused across calls, so a steady stream of flow events allocates nothing
+// here once the scratch has grown to the component size.
 func (f *Fabric) reallocate(flows []*Flow) {
 	if len(flows) == 0 {
 		return
 	}
-	resSet := make(map[*Resource]*resState)
-	var resources []*Resource
-	prevRates := make([]float64, len(flows))
-	for i, fl := range flows {
-		prevRates[i] = fl.rate
+	if f.resIdx == nil {
+		f.resIdx = make(map[*Resource]int32)
+	}
+	clear(f.resIdx)
+	f.resources = f.resources[:0]
+	f.states = f.states[:0]
+	f.prevRates = f.prevRates[:0]
+	for _, fl := range flows {
+		f.prevRates = append(f.prevRates, fl.rate)
 		fl.fixed = false
 		for _, r := range fl.path {
-			st := resSet[r]
-			if st == nil {
-				st = &resState{cap: r.capacity}
-				resSet[r] = st
-				resources = append(resources, r)
+			idx, ok := f.resIdx[r]
+			if !ok {
+				idx = int32(len(f.states))
+				f.resIdx[r] = idx
+				f.states = append(f.states, resState{cap: r.capacity})
+				f.resources = append(f.resources, r)
 			}
-			st.count++
+			f.states[idx].count++
 		}
 	}
-	sort.Slice(resources, func(i, j int) bool {
-		return resSet[resources[i]].less(resSet[resources[j]], resources[i], resources[j])
-	})
+	// Deterministic bottleneck scan order: ties in fair share resolve by
+	// resource name, independent of discovery order.
+	sort.Slice(f.resources, func(i, j int) bool { return f.resources[i].name < f.resources[j].name })
 
 	unfixed := len(flows)
 	for unfixed > 0 {
@@ -227,8 +265,8 @@ func (f *Fabric) reallocate(flows []*Flow) {
 			bottleneck *Resource
 			share      = math.Inf(1)
 		)
-		for _, r := range resources {
-			st := resSet[r]
+		for _, r := range f.resources {
+			st := &f.states[f.resIdx[r]]
 			if st.count == 0 {
 				continue
 			}
@@ -248,7 +286,7 @@ func (f *Fabric) reallocate(flows []*Flow) {
 			fl.rate = share
 			unfixed--
 			for _, r := range fl.path {
-				st := resSet[r]
+				st := &f.states[f.resIdx[r]]
 				st.cap -= share
 				if st.cap < 0 {
 					st.cap = 0
@@ -263,7 +301,7 @@ func (f *Fabric) reallocate(flows []*Flow) {
 		// settle charged it up to now at the same rate, so the absolute
 		// completion time is identical. Skipping the reschedule keeps the
 		// event heap free of cancelled-event churn in large simulations.
-		if fl.doneEv != nil && !fl.doneEv.cancelled && sameRate(fl.rate, prevRates[i]) {
+		if fl.doneEv != nil && !fl.doneEv.cancelled && sameRate(fl.rate, f.prevRates[i]) {
 			continue
 		}
 		f.scheduleCompletion(fl)
@@ -317,8 +355,6 @@ type resState struct {
 	cap   float64
 	count int
 }
-
-func (s *resState) less(o *resState, a, b *Resource) bool { return a.name < b.name }
 
 func remove(flows []*Flow, fl *Flow) []*Flow {
 	for i, g := range flows {

@@ -150,6 +150,76 @@ func TestManySequentialFlowsConserveWork(t *testing.T) {
 	approx(t, last, 10.0, 1e-6, "work conservation")
 }
 
+func TestSetCapacityMidFlowSlowsCompletion(t *testing.T) {
+	// A capacity cut must settle the flow's progress and retime its
+	// completion immediately — not wait for an unrelated flow event.
+	s := NewSim(1)
+	f := NewFabric(s)
+	r := NewResource("r", 100)
+	var done float64 = -1
+	f.StartFlow(100, []*Resource{r}, func() { done = s.Now() })
+	s.At(0.5, func() { r.SetCapacity(50) })
+	s.Run()
+	// 50 B in the first 0.5 s at 100 B/s, then 50 B at 50 B/s: 1.5 s total.
+	approx(t, done, 1.5, 1e-9, "completion after capacity cut")
+}
+
+func TestSetCapacityMidFlowSpeedsCompletion(t *testing.T) {
+	s := NewSim(1)
+	f := NewFabric(s)
+	r := NewResource("r", 50)
+	var done float64 = -1
+	fl := f.StartFlow(100, []*Resource{r}, func() { done = s.Now() })
+	s.At(1.0, func() {
+		r.SetCapacity(200)
+		approx(t, fl.Rate(), 200, 1e-9, "rate after capacity raise")
+	})
+	s.Run()
+	// 50 B in the first second at 50 B/s, then 50 B at 200 B/s: 1.25 s.
+	approx(t, done, 1.25, 1e-9, "completion after capacity raise")
+}
+
+func TestSetCapacityReallocatesWholeComponent(t *testing.T) {
+	// Shrinking link Y must also hand X's freed share back to flow A:
+	// the whole component reallocates, not just flows crossing Y.
+	s := NewSim(1)
+	f := NewFabric(s)
+	x := NewResource("x", 100)
+	y := NewResource("y", 30)
+	a := f.StartFlow(1e9, []*Resource{x}, func() {})
+	b := f.StartFlow(1e9, []*Resource{x, y}, func() {})
+	approx(t, a.Rate(), 70, 1e-9, "rate A before")
+	s.At(1.0, func() {
+		y.SetCapacity(10)
+		approx(t, a.Rate(), 90, 1e-9, "rate A after shrinking y")
+		approx(t, b.Rate(), 10, 1e-9, "rate B after shrinking y")
+		f.Cancel(a)
+		f.Cancel(b)
+	})
+	s.Run()
+}
+
+func TestSetCapacityIdleResource(t *testing.T) {
+	s := NewSim(1)
+	f := NewFabric(s)
+	r := NewResource("r", 100)
+	r.SetCapacity(25) // no flows yet: just records the value
+	approx(t, r.Capacity(), 25, 0, "idle capacity update")
+	var done float64 = -1
+	f.StartFlow(50, []*Resource{r}, func() { done = s.Now() })
+	s.Run()
+	approx(t, done, 2.0, 1e-9, "flow at updated capacity")
+}
+
+func TestSetCapacityRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive capacity")
+		}
+	}()
+	NewResource("r", 100).SetCapacity(0)
+}
+
 func TestNewResourceRejectsNonPositiveCapacity(t *testing.T) {
 	defer func() {
 		if recover() == nil {
