@@ -28,6 +28,8 @@ import (
 	"time"
 
 	"rdmc/internal/bench"
+	"rdmc/internal/obs"
+	"rdmc/internal/schedule"
 )
 
 func main() {
@@ -46,9 +48,33 @@ func run(args []string) error {
 		full       = fs.Bool("full", false, "use the paper's full parameter ranges")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		metrics    = fs.String("metrics", "", "write a metrics snapshot (JSON) to this file on exit; - for stderr")
+		tracefile  = fs.String("tracefile", "", "write a Chrome-trace-format event dump to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Observability: one shared sink for every deployment the run builds.
+	// Instrumentation never touches the virtual clock, so the reported
+	// figures are byte-identical with and without it.
+	var sink *obs.Obs
+	if *metrics != "" || *tracefile != "" {
+		sink = obs.New(0)
+		bench.SetObserver(sink)
+		r := sink.Registry()
+		schedule.SetMetrics(&schedule.Metrics{
+			FastPath:  r.Counter("schedule.nodeplan_fast"),
+			CacheHit:  r.Counter("schedule.plan_cache_hits"),
+			CacheMiss: r.Counter("schedule.plan_cache_misses"),
+		})
+		defer func() {
+			bench.SetObserver(nil)
+			schedule.SetMetrics(nil)
+			if err := writeObs(sink, *metrics, *tracefile); err != nil {
+				fmt.Fprintf(os.Stderr, "rdmcbench: %v\n", err)
+			}
+		}()
 	}
 
 	if *cpuprofile != "" {
@@ -105,6 +131,37 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("rdmcbench: pass -list, -all, or -exp <id>")
 	}
+}
+
+// writeObs dumps the observability sink: the metrics snapshot as JSON and the
+// event ring in Chrome trace format (load into chrome://tracing or Perfetto).
+func writeObs(sink *obs.Obs, metrics, tracefile string) error {
+	if metrics != "" {
+		data, err := sink.Registry().MarshalJSON()
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		data = append(data, '\n')
+		if metrics == "-" {
+			_, err = os.Stderr.Write(data)
+		} else {
+			err = os.WriteFile(metrics, data, 0o644)
+		}
+		if err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	if tracefile != "" {
+		f, err := os.Create(tracefile)
+		if err != nil {
+			return fmt.Errorf("tracefile: %w", err)
+		}
+		defer f.Close()
+		if err := obs.WriteChromeTrace(f, sink.Ring().Snapshot()); err != nil {
+			return fmt.Errorf("tracefile: %w", err)
+		}
+	}
+	return nil
 }
 
 // runAll executes every experiment concurrently. Each runner builds its own

@@ -2,13 +2,28 @@ package bench
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rdmc/internal/core"
+	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
 	"rdmc/internal/schedule"
 	"rdmc/internal/simhost"
 	"rdmc/internal/simnet"
 )
+
+// observer is the package-level observability sink deployments inherit; nil
+// (the default) leaves every grid uninstrumented. An atomic pointer because
+// -all runs experiment runners concurrently.
+var observer atomic.Pointer[obs.Obs]
+
+// SetObserver installs (or, with nil, removes) the sink every subsequently
+// built deployment wires into its engines and NICs. The sink is shared by
+// all deployments: counters aggregate across experiments and each structured
+// event carries its node id. Instrumentation must never perturb the virtual
+// clock, so the figures' virtual-time results are identical with and without
+// an observer; only the wall-time cost of recording differs.
+func SetObserver(o *obs.Obs) { observer.Store(o) }
 
 // deployment wraps a simulated grid with benchmark helpers. Experiment
 // runners are internal tooling, so setup errors panic rather than propagate.
@@ -19,9 +34,10 @@ type deployment struct {
 
 func deploy(cluster simnet.ClusterConfig, offload bool) *deployment {
 	grid, err := simhost.New(simhost.Config{
-		Cluster: cluster,
-		Seed:    1,
-		Offload: offload,
+		Cluster:  cluster,
+		Seed:     1,
+		Offload:  offload,
+		Observer: observer.Load(),
 	})
 	if err != nil {
 		panic(fmt.Sprintf("bench: deploy: %v", err))

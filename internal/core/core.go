@@ -48,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
 	"rdmc/internal/rdma/nicbase"
 )
@@ -148,6 +149,10 @@ type Engine struct {
 
 	mu     sync.Mutex // creation/close gate; see the package comment
 	closed bool
+
+	// eobs is the engine's observability sink; nil (the default) disables
+	// all instrumentation. Installed via SetObserver before any activity.
+	eobs *engineObs
 }
 
 // NewEngine wires an engine to its node-local services and installs the
@@ -278,6 +283,10 @@ func (e *Engine) onCompletionBatch(batch []rdma.Completion) {
 			j++
 		}
 		if g := e.group(id); g != nil {
+			if eo := e.eobs; eo != nil {
+				eo.batchRun.Observe(int64(j - i))
+				eo.record(e.host.Now(), obs.EvBatchDispatch, id, -1, -1, -1, int64(j-i))
+			}
 			var cbs []func()
 			g.mu.Lock()
 			g.noticeDefer = true
@@ -298,6 +307,10 @@ func (e *Engine) onCtrl(from rdma.NodeID, m CtrlMsg) {
 	g := e.group(m.Group)
 	if g == nil {
 		return
+	}
+	if eo := e.eobs; eo != nil {
+		eo.ctrlRx.Inc()
+		eo.record(e.host.Now(), obs.EvCtrlRecv, m.Group, m.Seq, m.Block, int(from), int64(m.Kind))
 	}
 	g.mu.Lock()
 	cbs := g.onCtrlLocked(from, m)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
 	"rdmc/internal/schedule"
 )
@@ -207,11 +208,21 @@ func (g *Group) Delivered() int {
 }
 
 // LastStats returns the timing record of the most recently completed
-// message, when RecordStats is enabled.
+// message, when RecordStats is enabled. The result is a deep copy: the
+// group's internal record can still be amended after delivery (the simulated
+// host charges copy time through a deferred callback) and is replaced by the
+// next transfer, so handing out the internal pointer would let the caller
+// observe those mutations mid-read.
 func (g *Group) LastStats() *TransferStats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.lastStats
+	if g.lastStats == nil {
+		return nil
+	}
+	cp := *g.lastStats
+	cp.Sends = append([]BlockStamp(nil), g.lastStats.Sends...)
+	cp.Recvs = append([]BlockStamp(nil), g.lastStats.Recvs...)
+	return &cp
 }
 
 // Send multicasts a message to the group. Only the root may call it. The
@@ -361,12 +372,23 @@ func (g *Group) ctrlTo(rank int, m CtrlMsg) {
 		g.noticeQ = append(g.noticeQ, queuedNotice{rank: rank, m: m})
 		return
 	}
+	g.ctrlSentObs(rank, m)
 	_ = g.engine.ctrl.Send(g.members[rank], m)
+}
+
+// ctrlSentObs instruments one control message at the point it actually hits
+// the wire (deferred notices count when flushed, not when queued).
+func (g *Group) ctrlSentObs(rank int, m CtrlMsg) {
+	if eo := g.engine.eobs; eo != nil {
+		eo.ctrlTx.Inc()
+		eo.record(g.engine.host.Now(), obs.EvCtrlSent, g.id, m.Seq, m.Block, int(g.members[rank]), int64(m.Kind))
+	}
 }
 
 // flushNoticesLocked drains the deferral queue to the control channel.
 func (g *Group) flushNoticesLocked() {
 	for i := range g.noticeQ {
+		g.ctrlSentObs(g.noticeQ[i].rank, g.noticeQ[i].m)
 		_ = g.engine.ctrl.Send(g.members[g.noticeQ[i].rank], g.noticeQ[i].m)
 		g.noticeQ[i] = queuedNotice{}
 	}
@@ -383,6 +405,10 @@ func (g *Group) failLocked(node rdma.NodeID, relay bool) []func() {
 	var cbs []func()
 	if relay && !g.failedVia[node] {
 		g.failedVia[node] = true
+		if eo := g.engine.eobs; eo != nil {
+			eo.failRelay.Inc()
+			eo.record(g.engine.host.Now(), obs.EvFailureRelay, g.id, -1, -1, int(node), 0)
+		}
 		for rank := range g.members {
 			if rank != g.rank {
 				g.ctrlTo(rank, CtrlMsg{Kind: CtrlFailure, Group: g.id, Node: node})
@@ -446,6 +472,10 @@ func (g *Group) onCtrlLocked(from rdma.NodeID, m CtrlMsg) []func() {
 			inc = 1
 		}
 		g.readyCounts[readyKey{seq: m.Seq, to: fromRank}] += inc
+		if eo := g.engine.eobs; eo != nil {
+			eo.credits.Add(uint64(inc))
+			eo.record(g.engine.host.Now(), obs.EvCreditUpdate, g.id, m.Seq, m.Block, fromRank, int64(inc))
+		}
 		if g.current != nil && g.current.seq == m.Seq {
 			return g.current.pumpSendsLocked()
 		}

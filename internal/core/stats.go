@@ -57,11 +57,17 @@ func (s *TransferStats) SendBusy() time.Duration {
 // SendWait sums the gaps between consecutive sends (previous completion to
 // next post) plus the lead-in from setup to the first post: the time the
 // node's transmit side sat idle waiting for blocks, readiness, or the CPU.
+// Every component is clamped to ≥ 0: a root may post its first send before
+// setup formally completes (the receiver-ready barrier resolves late), and a
+// negative lead-in would silently deflate the wait total.
 func (s *TransferStats) SendWait() time.Duration {
 	if len(s.Sends) == 0 {
 		return 0
 	}
-	total := s.Sends[0].PostedAt - s.SetupDoneAt
+	var total time.Duration
+	if lead := s.Sends[0].PostedAt - s.SetupDoneAt; lead > 0 {
+		total = lead
+	}
 	for i := 1; i < len(s.Sends); i++ {
 		if gap := s.Sends[i].PostedAt - s.Sends[i-1].DoneAt; gap > 0 {
 			total += gap

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
 	"rdmc/internal/schedule"
 )
@@ -94,10 +95,18 @@ func (g *Group) nodePlan(k int) schedule.NodePlan {
 		g.planCache = make(map[int]schedule.NodePlan)
 	}
 	if np, ok := g.planCache[k]; ok {
+		if eo := g.engine.eobs; eo != nil {
+			eo.planHit.Inc()
+			eo.record(g.engine.host.Now(), obs.EvPlanCacheHit, g.id, -1, -1, -1, int64(k))
+		}
 		return np
 	}
 	np := g.cfg.Generator.NodePlan(len(g.members), k, g.rank)
 	g.planCache[k] = np
+	if eo := g.engine.eobs; eo != nil {
+		eo.planMiss.Inc()
+		eo.record(g.engine.host.Now(), obs.EvPlanCacheMiss, g.id, -1, -1, -1, int64(k))
+	}
 	return np
 }
 
@@ -182,6 +191,7 @@ func (t *transfer) finishMemberSetupLocked(data []byte) []func() {
 	if t.stats != nil {
 		t.stats.SetupDoneAt = g.engine.host.Now()
 	}
+	g.obsEvent(obs.EvSetupDone, t.seq, -1, -1, t.size)
 	return t.pumpSendsLocked()
 }
 
@@ -215,6 +225,7 @@ func (t *transfer) postRecvWindowLocked() []func() {
 		if err := qp.PostRecv(buf, wrID(t.seq, idx)); err != nil {
 			return g.failLocked(g.members[tr.From], true)
 		}
+		g.obsEvent(obs.EvRecvPosted, t.seq, tr.Block, tr.From, int64(buf.Len))
 		t.recvPosted++
 		found := false
 		for i := range batch {
@@ -264,6 +275,7 @@ func (t *transfer) receiverReadyLocked(rank int) []func() {
 	if t.stats != nil {
 		t.stats.SetupDoneAt = t.g.engine.host.Now()
 	}
+	t.g.obsEvent(obs.EvSetupDone, t.seq, -1, -1, t.size)
 	return t.pumpSendsLocked()
 }
 
@@ -303,6 +315,10 @@ func (t *transfer) pumpSendsLocked() []func() {
 		if err := qp.PostSend(t.blockBuf(tr.Block), uint32(t.size), wrID(t.seq, t.sendIdx)); err != nil {
 			return g.failLocked(g.members[tr.To], true)
 		}
+		if eo := g.engine.eobs; eo != nil {
+			eo.blocksSent.Inc()
+			eo.record(g.engine.host.Now(), obs.EvSendPosted, g.id, t.seq, tr.Block, tr.To, int64(t.blockLen(tr.Block)))
+		}
 		t.sentTo[tr.To]++
 		t.sendsInFlight++
 		t.sendIdx++
@@ -340,6 +356,8 @@ func (t *transfer) sendDoneLocked(idx int) []func() {
 		// this work request opened.
 		t.stats.Sends[idx].DoneAt = t.g.engine.host.Now()
 	}
+	tr := t.np.Sends[idx]
+	t.g.obsEvent(obs.EvSendDone, t.seq, tr.Block, tr.To, 0)
 	if cbs := t.pumpSendsLocked(); cbs != nil {
 		return cbs
 	}
@@ -359,6 +377,10 @@ func (t *transfer) recvDoneLocked(idx int, c rdma.Completion) []func() {
 	if t.stats != nil {
 		now := t.g.engine.host.Now()
 		t.stats.Recvs = append(t.stats.Recvs, BlockStamp{Block: tr.Block, DoneAt: now})
+	}
+	if eo := t.g.engine.eobs; eo != nil {
+		eo.blocksRecv.Inc()
+		eo.record(t.g.engine.host.Now(), obs.EvRecvDone, t.g.id, t.seq, tr.Block, tr.From, int64(c.Bytes))
 	}
 	if idx == 0 {
 		// First block: copy from staging into the message region. The
@@ -440,6 +462,11 @@ func (t *transfer) deliverLocked() []func() {
 	if t.stats != nil {
 		t.stats.DeliveredAt = g.engine.host.Now()
 		g.lastStats = t.stats
+	}
+	if eo := g.engine.eobs; eo != nil {
+		eo.delivered.Inc()
+		eo.msgBytes.Observe(t.size)
+		eo.record(g.engine.host.Now(), obs.EvDelivered, g.id, t.seq, -1, -1, t.size)
 	}
 
 	var cbs []func()

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"rdmc/internal/core"
+	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
 )
 
@@ -33,11 +34,16 @@ type Config struct {
 	OnPeerDown func(peer rdma.NodeID)
 	// DialTimeout bounds each connection attempt; zero selects 2s.
 	DialTimeout time.Duration
+	// Observer, when non-nil, receives per-kind frame counters
+	// ("mesh.tx.<kind>" / "mesh.rx.<kind>") in its metrics registry.
+	Observer *obs.Obs
 }
 
 // Mesh is the full mesh endpoint of one node. It implements core.Control.
 type Mesh struct {
 	cfg Config
+
+	obs *meshObs // nil when unobserved; methods are nil-safe
 
 	mu      sync.Mutex
 	handler func(from rdma.NodeID, m core.CtrlMsg)
@@ -69,6 +75,9 @@ func New(cfg Config) (*Mesh, error) {
 	m := &Mesh{
 		cfg:   cfg,
 		peers: make(map[rdma.NodeID]*peerConn),
+	}
+	if cfg.Observer != nil {
+		m.obs = newMeshObs(cfg.Observer.Registry())
 	}
 
 	expect := 0
@@ -180,6 +189,7 @@ func (m *Mesh) Send(to rdma.NodeID, msg core.CtrlMsg) error {
 		m.peerDown(to, pc)
 		return fmt.Errorf("mesh: send to peer %d: %w", to, err)
 	}
+	m.obs.sent(msg.Kind)
 	return nil
 }
 
@@ -198,6 +208,7 @@ func (m *Mesh) readLoop(id rdma.NodeID, pc *peerConn) {
 			return
 		}
 		msg := decodeCtrl(&rbuf)
+		m.obs.received(msg.Kind)
 		m.mu.Lock()
 		h := m.handler
 		m.mu.Unlock()

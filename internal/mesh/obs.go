@@ -1,0 +1,38 @@
+package mesh
+
+import (
+	"rdmc/internal/core"
+	"rdmc/internal/obs"
+)
+
+// meshObs counts mesh frames in and out, split by control kind. Counters are
+// resolved once (per kind, names like "mesh.tx.ready_block") so the wire
+// paths index a fixed array instead of touching the registry.
+type meshObs struct {
+	tx [core.NumCtrlKinds + 1]*obs.Counter
+	rx [core.NumCtrlKinds + 1]*obs.Counter
+}
+
+func newMeshObs(r *obs.Registry) *meshObs {
+	mo := &meshObs{}
+	for k := 1; k <= core.NumCtrlKinds; k++ {
+		name := core.CtrlKind(k).String()
+		mo.tx[k] = r.Counter("mesh.tx." + name)
+		mo.rx[k] = r.Counter("mesh.rx." + name)
+	}
+	return mo
+}
+
+// sent and received tolerate out-of-range kinds (a corrupt frame decodes to
+// whatever the byte said) by dropping the count.
+func (mo *meshObs) sent(k core.CtrlKind) {
+	if mo != nil && k > 0 && int(k) < len(mo.tx) {
+		mo.tx[k].Inc()
+	}
+}
+
+func (mo *meshObs) received(k core.CtrlKind) {
+	if mo != nil && k > 0 && int(k) < len(mo.rx) {
+		mo.rx[k].Inc()
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceEvent is one record in the Chrome trace event format, the JSON schema
+// understood by chrome://tracing and Perfetto (ui.perfetto.dev). Timestamps
+// and durations are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// pairKey identifies a posted/done pair within one node's timeline.
+type pairKey struct {
+	node  int32
+	group uint32
+	seq   int32
+	block int32
+	peer  int32
+}
+
+// WriteChromeTrace renders events as a Chrome-trace-format JSON document.
+// Each node becomes a trace process and each group a thread within it, so
+// Perfetto lays the multicast out as per-node swim lanes. Send and receive
+// posted/done pairs become duration ("X") slices — the visible shape of the
+// send and receive windows — and every other event becomes a thread-scoped
+// instant. Events must come from Ring.Snapshot (or any slice with coherent
+// per-node timestamps).
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := make([]traceEvent, 0, len(events)+16)
+
+	nodes := map[int32]bool{}
+	sendOpen := map[pairKey]Event{}
+	recvOpen := map[pairKey]Event{}
+
+	usec := func(e Event) float64 { return float64(e.At.Nanoseconds()) / 1e3 }
+
+	for _, e := range events {
+		nodes[e.Node] = true
+		pid := int64(e.Node)
+		tid := int64(e.Group)
+		switch e.Kind {
+		case EvSendPosted:
+			sendOpen[pairKey{e.Node, e.Group, e.Seq, e.Block, e.Peer}] = e
+		case EvRecvPosted:
+			recvOpen[pairKey{e.Node, e.Group, e.Seq, e.Block, e.Peer}] = e
+		case EvSendDone, EvRecvDone:
+			open := sendOpen
+			name := "send"
+			if e.Kind == EvRecvDone {
+				open = recvOpen
+				name = "recv"
+			}
+			k := pairKey{e.Node, e.Group, e.Seq, e.Block, e.Peer}
+			start, ok := open[k]
+			if !ok {
+				// The matching post was overwritten in the ring (or the
+				// snapshot starts mid-transfer); fall back to an instant.
+				out = append(out, traceEvent{
+					Name: e.Kind.String(), Cat: "data", Ph: "i", S: "t",
+					TS: usec(e), PID: pid, TID: tid,
+					Args: map[string]any{"seq": e.Seq, "block": e.Block, "peer": e.Peer, "arg": e.Arg},
+				})
+				continue
+			}
+			delete(open, k)
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("%s b%d", name, e.Block), Cat: "data", Ph: "X",
+				TS: usec(start), Dur: usec(e) - usec(start), PID: pid, TID: tid,
+				Args: map[string]any{"seq": e.Seq, "block": e.Block, "peer": e.Peer, "bytes": e.Arg},
+			})
+		default:
+			out = append(out, traceEvent{
+				Name: e.Kind.String(), Cat: cat(e.Kind), Ph: "i", S: "t",
+				TS: usec(e), PID: pid, TID: tid,
+				Args: map[string]any{"seq": e.Seq, "block": e.Block, "peer": e.Peer, "arg": e.Arg},
+			})
+		}
+	}
+
+	// Posts still open at snapshot time render as instants so they stay
+	// visible rather than silently vanishing.
+	for _, open := range []map[pairKey]Event{sendOpen, recvOpen} {
+		for _, e := range open {
+			out = append(out, traceEvent{
+				Name: e.Kind.String(), Cat: "data", Ph: "i", S: "t",
+				TS: usec(e), PID: int64(e.Node), TID: int64(e.Group),
+				Args: map[string]any{"seq": e.Seq, "block": e.Block, "peer": e.Peer, "arg": e.Arg},
+			})
+		}
+	}
+
+	// Name the processes after the nodes so the Perfetto sidebar reads
+	// "node 0", "node 1", ... instead of bare pids.
+	ids := make([]int32, 0, len(nodes))
+	for n := range nodes {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, n := range ids {
+		out = append(out, traceEvent{
+			Name: "process_name", Ph: "M", PID: int64(n),
+			Args: map[string]any{"name": fmt.Sprintf("node %d", n)},
+		})
+	}
+
+	// Deterministic output: stable sort by timestamp keeps the document
+	// diffable across runs of the virtual-time simulator.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}
+
+// cat buckets event kinds into trace categories, which Perfetto can filter.
+func cat(k EventKind) string {
+	switch k {
+	case EvCtrlSent, EvCtrlRecv, EvCreditUpdate, EvFailureRelay:
+		return "control"
+	case EvPlanCacheHit, EvPlanCacheMiss:
+		return "plan"
+	case EvBatchDispatch:
+		return "dispatch"
+	default:
+		return "transfer"
+	}
+}

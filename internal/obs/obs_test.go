@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("frames")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("frames") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("batch", Pow2Buckets(4)) // bounds 1,2,4,8 + overflow
+	for _, v := range []int64{1, 2, 2, 3, 9, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 117 {
+		t.Fatalf("sum = %d, want 117", h.Sum())
+	}
+	snap := r.Snapshot().Histograms["batch"]
+	want := []uint64{1, 2, 1, 0, 2} // ≤1, ≤2, ≤4, ≤8, overflow
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1000, 2, 4)
+	want := []int64{1000, 2000, 4000, 8000}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(7)
+	r.Histogram("h", []int64{10}).Observe(3)
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["a"] != 7 {
+		t.Fatalf("counter a = %d, want 7", s.Counters["a"])
+	}
+	if s.Histograms["h"].Count != 1 {
+		t.Fatalf("histogram count = %d, want 1", s.Histograms["h"].Count)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	h := r.Histogram("y", Pow2Buckets(3))
+	h.Observe(5)
+	if c.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments recorded something")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	r.Publish("never")
+}
+
+func TestRingWrap(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Record(Event{Seq: int32(i)})
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total = %d, want 6", r.Total())
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	snap := r.Snapshot()
+	for i, e := range snap {
+		if want := int32(i + 2); e.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Event{Seq: 1})
+	r.Record(Event{Seq: 2})
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Seq != 1 || snap[1].Seq != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestNilRingAndObsSafe(t *testing.T) {
+	var r *Ring
+	r.Record(Event{})
+	if r.Len() != 0 || r.Total() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil ring not inert")
+	}
+	var o *Obs
+	if o.Registry() != nil || o.Ring() != nil {
+		t.Fatal("nil Obs accessors not nil")
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(Event{Node: int32(g), Seq: int32(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 8000 {
+		t.Fatalf("total = %d, want 8000", r.Total())
+	}
+}
+
+func TestChromeTracePairsSends(t *testing.T) {
+	events := []Event{
+		{At: 10 * time.Microsecond, Kind: EvSendPosted, Node: 0, Group: 1, Seq: 0, Block: 3, Peer: 2, Arg: 0},
+		{At: 15 * time.Microsecond, Kind: EvCtrlSent, Node: 0, Group: 1, Peer: 2, Arg: 4},
+		{At: 40 * time.Microsecond, Kind: EvSendDone, Node: 0, Group: 1, Seq: 0, Block: 3, Peer: 2, Arg: 0},
+		{At: 50 * time.Microsecond, Kind: EvRecvPosted, Node: 2, Group: 1, Seq: 0, Block: 3, Peer: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var durs, instants, meta int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			durs++
+			if e["dur"].(float64) != 30 {
+				t.Fatalf("duration = %v µs, want 30", e["dur"])
+			}
+			if !strings.HasPrefix(e["name"].(string), "send b3") {
+				t.Fatalf("duration name = %v", e["name"])
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		}
+	}
+	if durs != 1 {
+		t.Fatalf("duration events = %d, want 1", durs)
+	}
+	// ctrl_sent + the unmatched recv post rendered as instants.
+	if instants != 2 {
+		t.Fatalf("instant events = %d, want 2", instants)
+	}
+	// Two nodes → two process_name metadata records.
+	if meta != 2 {
+		t.Fatalf("metadata events = %d, want 2", meta)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EvSendPosted; k <= EvBatchDispatch; k++ {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if EventKind(0).String() != "unknown" || EventKind(200).String() != "unknown" {
+		t.Fatal("out-of-range kinds should be unknown")
+	}
+}
+
+// BenchmarkDisabledPath proves the acceptance criterion that disabled
+// instrumentation is zero-cost: every hot-path operation on nil instruments
+// must run with 0 allocs/op. The bench drives the exact shapes the engine
+// uses — counter add, histogram observe, ring record through a nil *Obs.
+func BenchmarkDisabledPath(b *testing.B) {
+	var o *Obs
+	c := o.Registry().Counter("disabled")
+	h := o.Registry().Histogram("disabled", Pow2Buckets(8))
+	r := o.Ring()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		c.Add(3)
+		h.Observe(int64(i))
+		r.Record(Event{At: time.Duration(i), Kind: EvSendPosted, Node: 1, Group: 2, Seq: 3, Block: 4, Peer: 5, Arg: 6})
+	}
+	if c.Load() != 0 || h.Count() != 0 || r.Total() != 0 {
+		b.Fatal("disabled instruments recorded data")
+	}
+}
+
+// BenchmarkEnabledPath keeps the enabled cost visible (and allocation-free
+// too: recording into preallocated structures must not allocate).
+func BenchmarkEnabledPath(b *testing.B) {
+	o := New(1 << 10)
+	c := o.Registry().Counter("enabled")
+	h := o.Registry().Histogram("enabled", Pow2Buckets(8))
+	r := o.Ring()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(int64(i & 255))
+		r.Record(Event{At: time.Duration(i), Kind: EvSendPosted, Node: 1, Group: 2, Seq: 3, Block: 4, Peer: 5, Arg: 6})
+	}
+}

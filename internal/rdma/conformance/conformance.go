@@ -43,6 +43,7 @@ func Run(t *testing.T, f Factory) {
 		{"VirtualSendCarriesNoBytes", testVirtualSend},
 		{"FIFOPerQueuePair", testFIFO},
 		{"WindowedBurstKeepsFIFOAndPerWRCompletions", testWindowedBurst},
+		{"BatchDispatchPreservesOrderAndMetadata", testBatchDispatch},
 		{"EarlyArrivalBuffersUntilRecvPosted", testEarlyArrival},
 		{"DistinctTokensAreSeparateQueuePairs", testDistinctTokens},
 		{"OneSidedWriteUpdatesRegionAndWatcher", testOneSidedWrite},
@@ -235,6 +236,130 @@ func testWindowedBurst(t *testing.T, h *Harness) {
 	}
 	if len(seen) != n {
 		t.Fatalf("got %d distinct send completions, want %d", len(seen), n)
+	}
+}
+
+// batchSink records batch-dispatched completions flattened in delivery
+// order. Batches must be copied element-wise: the dispatcher reuses its
+// backing slice across wakeups.
+type batchSink struct {
+	mu      sync.Mutex
+	flat    []rdma.Completion
+	batches []int // length of each delivered batch
+}
+
+func (s *batchSink) handle(batch []rdma.Completion) {
+	s.mu.Lock()
+	s.flat = append(s.flat, batch...)
+	s.batches = append(s.batches, len(batch))
+	s.mu.Unlock()
+}
+
+func (s *batchSink) snapshot() []rdma.Completion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]rdma.Completion(nil), s.flat...)
+}
+
+func (s *batchSink) waitN(t *testing.T, h *Harness, n int) []rdma.Completion {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h.Settle()
+		if got := s.snapshot(); len(got) >= n {
+			return got
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out with %d of %d completions", len(s.snapshot()), n)
+		}
+	}
+}
+
+// testBatchDispatch pins the batch-dispatch contract the engine's
+// onCompletionBatch depends on: with a batch handler installed, completions
+// arrive in slices whose flattened order is exactly the per-completion
+// dispatch order, and each completion carries the same metadata (WRID, Imm,
+// Bytes, Peer, Token, Op, Status) it would carry under one-at-a-time
+// dispatch. Both providers must surface the identical flattened sequence for
+// this deterministic workload, so the engine may treat batch boundaries as
+// pure framing.
+func testBatchDispatch(t *testing.T, h *Harness) {
+	ba, aOK := h.A.(rdma.BatchProvider)
+	bb, bOK := h.B.(rdma.BatchProvider)
+	if !aOK || !bOK {
+		t.Fatalf("provider does not implement rdma.BatchProvider (A %v, B %v)", aOK, bOK)
+	}
+	sa, sb := &batchSink{}, &batchSink{}
+	ba.SetBatchHandler(sa.handle)
+	bb.SetBatchHandler(sb.handle)
+	qa, qb := connect(t, h, 9)
+
+	const n = 24
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = 4 << 10
+		if i%3 == 2 {
+			sizes[i] = 16
+		}
+		if err := qb.PostRecv(rdma.SizeBuffer(4<<10), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range sizes {
+		if err := qa.PostSend(rdma.SizeBuffer(sizes[i]), uint32(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recvs := sb.waitN(t, h, n)
+	if len(recvs) != n {
+		t.Fatalf("receiver flattened %d completions, want exactly %d", len(recvs), n)
+	}
+	for i, c := range recvs {
+		if c.Op != rdma.OpRecv || c.Status != rdma.StatusOK {
+			t.Fatalf("recv %d = %+v, want OK recv", i, c)
+		}
+		if c.WRID != uint64(i) || c.Imm != uint32(i) {
+			t.Fatalf("recv %d out of order under batch dispatch: WRID %d Imm %d", i, c.WRID, c.Imm)
+		}
+		if c.Bytes != sizes[i] || c.Peer != h.A.NodeID() || c.Token != 9 {
+			t.Fatalf("recv %d metadata = bytes %d peer %d token %d, want %d/%d/9",
+				i, c.Bytes, c.Peer, c.Token, sizes[i], h.A.NodeID())
+		}
+	}
+
+	sends := sa.waitN(t, h, n)
+	if len(sends) != n {
+		t.Fatalf("sender flattened %d completions, want exactly %d", len(sends), n)
+	}
+	for i, c := range sends {
+		if c.Op != rdma.OpSend || c.Status != rdma.StatusOK || c.WRID != uint64(i) {
+			t.Fatalf("send %d = %+v, want OK send WRID %d (FIFO)", i, c, i)
+		}
+		if c.Bytes != sizes[i] || c.Peer != h.B.NodeID() || c.Token != 9 {
+			t.Fatalf("send %d metadata = bytes %d peer %d token %d, want %d/%d/9",
+				i, c.Bytes, c.Peer, c.Token, sizes[i], h.B.NodeID())
+		}
+	}
+
+	// Batch framing sanity: every delivered batch was non-empty, and the
+	// per-batch lengths sum to the flattened total (no completion was
+	// delivered twice across batch boundaries).
+	for _, s := range []*batchSink{sa, sb} {
+		s.mu.Lock()
+		total := 0
+		for _, bl := range s.batches {
+			if bl <= 0 {
+				s.mu.Unlock()
+				t.Fatal("empty batch delivered")
+			}
+			total += bl
+		}
+		flat := len(s.flat)
+		s.mu.Unlock()
+		if total != flat {
+			t.Fatalf("batch lengths sum to %d, flattened %d", total, flat)
+		}
 	}
 }
 

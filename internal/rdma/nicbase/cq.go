@@ -3,6 +3,7 @@ package nicbase
 import (
 	"sync"
 
+	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
 )
 
@@ -36,6 +37,11 @@ const maxBatch = 256
 // single-element batches — its submit hook is already the serialization
 // point and there is no queue to drain.
 type CompletionQueue struct {
+	// Instrumentation, nil by default; installed through Base.SetObserver
+	// before any activity (see obs.go).
+	completions *obs.Counter
+	batchSize   *obs.Histogram
+
 	mu      sync.Mutex
 	handler func(rdma.Completion)
 	batch   func([]rdma.Completion)
@@ -102,12 +108,15 @@ func (q *CompletionQueue) HasHandler() bool {
 // loop; channel mode enqueues it for the dispatcher (dropping it only when
 // the queue has been closed, matching a destroyed hardware CQ).
 func (q *CompletionQueue) Post(c rdma.Completion) {
+	q.completions.Inc()
 	if q.submit != nil {
 		q.mu.Lock()
 		h, bh := q.handler, q.batch
 		q.mu.Unlock()
 		switch {
 		case bh != nil:
+			// Event mode has no queue to drain: every batch is one element.
+			q.batchSize.Observe(1)
 			q.submit(func() { bh([]rdma.Completion{c}) })
 		case h != nil:
 			q.submit(func() { h(c) })
@@ -138,10 +147,12 @@ func (q *CompletionQueue) dispatch() {
 				case more := <-q.ch:
 					buf = append(buf, more)
 				default:
+					q.batchSize.Observe(int64(len(buf)))
 					bh(buf)
 					return
 				}
 			}
+			q.batchSize.Observe(int64(len(buf)))
 			bh(buf)
 			return
 		}

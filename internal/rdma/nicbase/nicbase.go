@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
 )
 
@@ -29,6 +30,10 @@ type QPKey struct {
 type Base struct {
 	id rdma.NodeID
 	cq *CompletionQueue
+
+	// posts counts admitted work requests; nil (the default) discards them.
+	// Installed via SetObserver before any activity.
+	posts *obs.Counter
 
 	mu       sync.Mutex
 	regions  map[rdma.RegionID][]byte
@@ -74,6 +79,7 @@ func (b *Base) CheckPost() error {
 	if !b.cq.HasHandler() {
 		return rdma.ErrNoHandler
 	}
+	b.posts.Inc()
 	return nil
 }
 

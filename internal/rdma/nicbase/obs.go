@@ -1,0 +1,30 @@
+package nicbase
+
+import "rdmc/internal/obs"
+
+// SetObserver installs (or, with nil, removes) NIC-level instrumentation:
+//
+//	nic.posts        work requests admitted through CheckPost
+//	nic.completions  completions posted to the node's CQ
+//	nic.cq_batch     completions handed to the batch handler per wakeup
+//
+// Like every observer hook in the tree it must be installed before provider
+// activity — the instrument pointers are read without synchronization on the
+// post and dispatch paths. All instruments are nil-safe, so a provider with
+// no observer pays a nil test per event and nothing else.
+func (b *Base) SetObserver(o *obs.Obs) {
+	if o == nil {
+		b.posts = nil
+		b.cq.setMetrics(nil, nil)
+		return
+	}
+	r := o.Registry()
+	b.posts = r.Counter("nic.posts")
+	b.cq.setMetrics(r.Counter("nic.completions"), r.Histogram("nic.cq_batch", obs.Pow2Buckets(9)))
+}
+
+// setMetrics installs the queue's instruments (see Base.SetObserver).
+func (q *CompletionQueue) setMetrics(completions *obs.Counter, batchSize *obs.Histogram) {
+	q.completions = completions
+	q.batchSize = batchSize
+}

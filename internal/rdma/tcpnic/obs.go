@@ -1,0 +1,28 @@
+package tcpnic
+
+import "rdmc/internal/obs"
+
+// SetObserver installs (or, with nil, removes) the provider's
+// instrumentation: the shared NIC instruments (see nicbase.Base.SetObserver)
+// plus the TCP transport's own receive-path and writer-coalescing meters:
+//
+//	tcpnic.direct_frames   data frames landed directly in a posted receive
+//	tcpnic.staged_frames   data frames staged through a pooled buffer
+//	tcpnic.staged_bytes    bytes that took the staged (extra-copy) path
+//	tcpnic.writer_coalesce frames folded into one vectored write
+//
+// Must be installed before provider activity; every instrument is nil-safe,
+// so an unobserved provider pays only nil tests.
+func (p *Provider) SetObserver(o *obs.Obs) {
+	if o == nil {
+		p.Base.SetObserver(nil)
+		p.obsDirect, p.obsStaged, p.obsStagedBytes, p.obsCoalesce = nil, nil, nil, nil
+		return
+	}
+	p.Base.SetObserver(o)
+	r := o.Registry()
+	p.obsDirect = r.Counter("tcpnic.direct_frames")
+	p.obsStaged = r.Counter("tcpnic.staged_frames")
+	p.obsStagedBytes = r.Counter("tcpnic.staged_bytes")
+	p.obsCoalesce = r.Histogram("tcpnic.writer_coalesce", obs.Pow2Buckets(4))
+}

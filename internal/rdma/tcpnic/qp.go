@@ -242,6 +242,7 @@ func (q *queuePair) writer(conn net.Conn) {
 		batch = append(batch[:0], q.sendQ[q.sendHead:q.sendHead+n]...)
 		q.mu.Unlock()
 
+		q.p.obsCoalesce.Observe(int64(n))
 		if err := q.writeFrames(conn, batch, &hdrs, &vec); err != nil {
 			q.breakConn()
 			return
@@ -381,6 +382,7 @@ func (q *queuePair) reader(conn net.Conn) {
 					}
 					a.payload = wr.buf.Data[:length]
 					q.p.directFrames.Add(1)
+					q.p.obsDirect.Inc()
 				}
 				if err := q.completeRecv(wr, a); err != nil {
 					q.breakConn()
@@ -402,6 +404,8 @@ func (q *queuePair) reader(conn net.Conn) {
 				}
 				q.p.stagedFrames.Add(1)
 				q.p.stagedBytes.Add(uint64(length))
+				q.p.obsStaged.Inc()
+				q.p.obsStagedBytes.Add(uint64(length))
 			}
 			q.mu.Lock()
 			q.arrivals = append(q.arrivals, a)

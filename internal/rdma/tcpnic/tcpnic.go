@@ -42,6 +42,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
 	"rdmc/internal/rdma/nicbase"
 )
@@ -98,6 +99,13 @@ type Provider struct {
 	directFrames atomic.Uint64
 	stagedFrames atomic.Uint64
 	stagedBytes  atomic.Uint64
+
+	// Registry mirrors of the counters above plus the writer coalescing
+	// histogram; nil (the default) discards the updates. See SetObserver.
+	obsDirect      *obs.Counter
+	obsStaged      *obs.Counter
+	obsStagedBytes *obs.Counter
+	obsCoalesce    *obs.Histogram
 }
 
 // RecvStats returns the provider's receive-path copy counters.

@@ -52,6 +52,7 @@ func (BinomialPipelineGen) NodePlan(nodes, blocks, rank int) NodePlan {
 	checkArgs(nodes, blocks)
 	checkRank(nodes, rank)
 	if nodes == 1 {
+		planFast()
 		return NodePlan{}
 	}
 	if nodes&(nodes-1) != 0 {
@@ -59,6 +60,7 @@ func (BinomialPipelineGen) NodePlan(nodes, blocks, rank int) NodePlan {
 			return BinomialPipelineGen{}.Plan(nodes, blocks)
 		})
 	}
+	planFast()
 	l := log2Ceil(nodes)
 	steps := l + blocks - 1
 	nSends := 0

@@ -1,0 +1,54 @@
+package schedule
+
+import (
+	"sync/atomic"
+
+	"rdmc/internal/obs"
+)
+
+// Metrics counts rank-local planning outcomes across the whole process —
+// the planner's caches are process-global (see planCache), so its metrics
+// are too. All fields are optional; nil counters discard increments.
+type Metrics struct {
+	// FastPath counts NodePlan calls answered by a per-rank closed form,
+	// with no global plan ever materialized.
+	FastPath *obs.Counter
+	// CacheHit counts plan-cache lookups that found an already-computed
+	// table; CacheMiss counts the lookups that had to compute it.
+	CacheHit  *obs.Counter
+	CacheMiss *obs.Counter
+}
+
+// metrics is the installed hook; an atomic pointer so SetMetrics may race
+// freely with planning on other engines.
+var metrics atomic.Pointer[Metrics]
+
+// SetMetrics installs (or, with nil, removes) the planner's metrics hook.
+// Typically wired as:
+//
+//	schedule.SetMetrics(&schedule.Metrics{
+//	    FastPath:  reg.Counter("schedule.nodeplan_fast"),
+//	    CacheHit:  reg.Counter("schedule.plan_cache_hits"),
+//	    CacheMiss: reg.Counter("schedule.plan_cache_misses"),
+//	})
+func SetMetrics(m *Metrics) { metrics.Store(m) }
+
+// planFast records one closed-form NodePlan answer.
+func planFast() {
+	if m := metrics.Load(); m != nil {
+		m.FastPath.Inc()
+	}
+}
+
+// planCacheOutcome records one cachedNodePlan lookup.
+func planCacheOutcome(computed bool) {
+	m := metrics.Load()
+	if m == nil {
+		return
+	}
+	if computed {
+		m.CacheMiss.Inc()
+	} else {
+		m.CacheHit.Inc()
+	}
+}

@@ -52,7 +52,12 @@ var planCache sync.Map // planKey → *planCacheEntry
 func cachedNodePlan(key planKey, rank int, plan func() Plan) NodePlan {
 	e, _ := planCache.LoadOrStore(key, &planCacheEntry{})
 	entry := e.(*planCacheEntry)
-	entry.once.Do(func() { entry.plans = plan().PerNode() })
+	computed := false
+	entry.once.Do(func() {
+		entry.plans = plan().PerNode()
+		computed = true
+	})
+	planCacheOutcome(computed)
 	return entry.plans[rank]
 }
 
@@ -62,6 +67,7 @@ func cachedNodePlan(key planKey, rank int, plan func() Plan) NodePlan {
 func (sequentialGen) NodePlan(nodes, blocks, rank int) NodePlan {
 	checkArgs(nodes, blocks)
 	checkRank(nodes, rank)
+	planFast()
 	var np NodePlan
 	if rank == 0 {
 		if nodes == 1 {
@@ -90,6 +96,7 @@ func (sequentialGen) NodePlan(nodes, blocks, rank int) NodePlan {
 func (chainGen) NodePlan(nodes, blocks, rank int) NodePlan {
 	checkArgs(nodes, blocks)
 	checkRank(nodes, rank)
+	planFast()
 	var np NodePlan
 	if rank < nodes-1 {
 		np.Sends = make([]Transfer, 0, blocks)
@@ -113,6 +120,7 @@ func (chainGen) NodePlan(nodes, blocks, rank int) NodePlan {
 func (binomialTreeGen) NodePlan(nodes, blocks, rank int) NodePlan {
 	checkArgs(nodes, blocks)
 	checkRank(nodes, rank)
+	planFast()
 	var np NodePlan
 	first := 0 // first step at which rank holds the message and may send
 	if rank > 0 {
@@ -155,6 +163,7 @@ func (binomialTreeGen) NodePlan(nodes, blocks, rank int) NodePlan {
 func (mpiGen) NodePlan(nodes, blocks, rank int) NodePlan {
 	checkArgs(nodes, blocks)
 	checkRank(nodes, rank)
+	planFast()
 	var np NodePlan
 	if nodes == 1 {
 		return np

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rdmc/internal/core"
+	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
 	"rdmc/internal/rdma/simnic"
 	"rdmc/internal/simnet"
@@ -28,6 +29,11 @@ type Config struct {
 	// Offload enables CORE-Direct-style NIC offload on every node
 	// (Figure 12's cross-channel mode).
 	Offload bool
+	// Observer, when non-nil, instruments every engine and NIC in the grid.
+	// The deployment shares one sink: the virtual clock is global, and each
+	// structured event carries its node id, so one ring holds the whole
+	// grid's timeline (exactly what the Chrome-trace exporter wants).
+	Observer *obs.Obs
 }
 
 // Grid is a simulated deployment of engines sharing one virtual clock.
@@ -61,7 +67,12 @@ func New(cfg Config) (*Grid, error) {
 		provider.SetOffload(cfg.Offload)
 		ctrl := &gridControl{grid: g, local: id}
 		host := &gridHost{grid: g, local: id, copyBW: cfg.CopyBandwidth}
-		g.engines = append(g.engines, core.NewEngine(provider, ctrl, host))
+		engine := core.NewEngine(provider, ctrl, host)
+		if cfg.Observer != nil {
+			provider.SetObserver(cfg.Observer)
+			engine.SetObserver(cfg.Observer)
+		}
+		g.engines = append(g.engines, engine)
 	}
 	return g, nil
 }

@@ -29,6 +29,10 @@ type SimConfig struct {
 	Seed int64
 	// Offload enables CORE-Direct-style NIC offload (Figure 12).
 	Offload bool
+	// Observer, when non-nil, instruments every node in the cluster (see
+	// Observer). Events are stamped in virtual time, so a Chrome trace of a
+	// simulated run shows the modelled timeline, not wall time.
+	Observer *Observer
 }
 
 // CompletionMode mirrors the paper's completion-delivery options.
@@ -70,8 +74,9 @@ func NewSimCluster(cfg SimConfig) (*SimCluster, error) {
 			RackSize:       cfg.RackSize,
 			TrunkBandwidth: cfg.TrunkGbps * 1e9 / 8,
 		},
-		Seed:    cfg.Seed,
-		Offload: cfg.Offload,
+		Seed:     cfg.Seed,
+		Offload:  cfg.Offload,
+		Observer: cfg.Observer.sink(),
 	})
 	if err != nil {
 		return nil, err

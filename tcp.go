@@ -22,6 +22,10 @@ type TCPConfig struct {
 	// its data and mesh listen addresses.
 	DataAddrs map[int]string
 	CtrlAddrs map[int]string
+	// Observer, when non-nil, instruments the node's engine, NIC, and mesh
+	// (see Observer). Pair it with Observer.Publish to serve live metrics
+	// over expvar.
+	Observer *Observer
 }
 
 // NewTCPNode starts an RDMC node over real TCP: it listens on its own
@@ -61,6 +65,7 @@ func newTCPNode(cfg TCPConfig, dataLn, ctrlLn net.Listener) (*Node, error) {
 		_ = ctrlLn.Close()
 		return nil, err
 	}
+	provider.SetObserver(cfg.Observer.sink())
 
 	node := &Node{id: cfg.NodeID}
 	m, err := mesh.New(mesh.Config{
@@ -72,6 +77,7 @@ func newTCPNode(cfg TCPConfig, dataLn, ctrlLn net.Listener) (*Node, error) {
 				node.engine.NotifyFailure(peer)
 			}
 		},
+		Observer: cfg.Observer.sink(),
 	})
 	if err != nil {
 		_ = provider.Close()
@@ -80,16 +86,35 @@ func newTCPNode(cfg TCPConfig, dataLn, ctrlLn net.Listener) (*Node, error) {
 	}
 
 	node.engine = core.NewEngine(provider, m, realHost{start: time.Now()})
+	node.engine.SetObserver(cfg.Observer.sink())
 	node.closers = append(node.closers, m.Close)
 	return node, nil
+}
+
+// ClusterOption customizes NewLocalCluster.
+type ClusterOption func(*clusterOptions)
+
+type clusterOptions struct {
+	observer *Observer
+}
+
+// WithObserver instruments every node of the local cluster with one shared
+// Observer (see Observer — counters aggregate across the nodes and events
+// carry node ids).
+func WithObserver(ob *Observer) ClusterOption {
+	return func(o *clusterOptions) { o.observer = ob }
 }
 
 // NewLocalCluster starts n nodes over loopback TCP in one process, with
 // ephemeral ports wired automatically — the quickest way to run real-socket
 // RDMC (examples and integration tests use it).
-func NewLocalCluster(n int) ([]*Node, error) {
+func NewLocalCluster(n int, opts ...ClusterOption) ([]*Node, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("rdmc: cluster needs at least one node, got %d", n)
+	}
+	var copts clusterOptions
+	for _, opt := range opts {
+		opt(&copts)
 	}
 	dataLns := make([]net.Listener, n)
 	ctrlLns := make([]net.Listener, n)
@@ -132,6 +157,7 @@ func NewLocalCluster(n int) ([]*Node, error) {
 				NodeID:    i,
 				DataAddrs: dataAddrs,
 				CtrlAddrs: ctrlAddrs,
+				Observer:  copts.observer,
 			}, dataLns[i], ctrlLns[i])
 			if err != nil {
 				errs <- fmt.Errorf("rdmc: node %d: %w", i, err)
