@@ -52,6 +52,7 @@ func BenchmarkSmallMessages(b *testing.B)    { benchExperiment(b, "smc") }
 func BenchmarkRecvWindowAblation(b *testing.B) {
 	benchExperiment(b, "window")
 }
+func BenchmarkFailover(b *testing.B) { benchExperiment(b, "failover") }
 
 // --- micro-benchmarks of the library's hot paths ---
 

@@ -106,6 +106,7 @@ func Experiments() map[string]Runner {
 		"hybrid":   HybridTopology,
 		"smc":      SmallMessages,
 		"window":   RecvWindowAblation,
+		"failover": Failover,
 	}
 }
 
@@ -115,5 +116,6 @@ func Order() []string {
 		"fig4a", "fig4b", "table1", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10a", "fig10b", "fig11", "fig12",
 		"slack", "slowlink", "delay", "hybrid", "smc", "window",
+		"failover",
 	}
 }

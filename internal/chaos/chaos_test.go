@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChaosScenarios runs the full suite — crash-of-relay, crash-of-root,
+// and transient cross-rack partition — at n ∈ {4, 8, 16}, and for each
+// schedule also replays it against bare, session-less engine groups to
+// prove the fault actually bites there: the baseline must hang or leave
+// survivors short, while the session layer must deliver identical gap-free
+// sequences with finite recovery latency.
+func TestChaosScenarios(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		for _, sc := range Scenarios(n, 1) {
+			sc := sc
+			t.Run(fmt.Sprintf("%s/n=%d", sc.Name, n), func(t *testing.T) {
+				res, err := Run(sc)
+				if err != nil {
+					t.Fatalf("session run violated the contract: %v", err)
+				}
+				if !res.Drained {
+					t.Fatal("session run did not drain")
+				}
+				if res.RecoverySeconds <= 0 {
+					t.Errorf("recovery latency %v, want > 0", res.RecoverySeconds)
+				}
+				if res.Epochs < 2 {
+					t.Errorf("majority epoch %d, want >= 2", res.Epochs)
+				}
+				if res.Delivered < sc.Epilogue {
+					t.Errorf("majority delivered %d messages, want >= %d", res.Delivered, sc.Epilogue)
+				}
+
+				base, err := RunBaseline(sc)
+				if err != nil {
+					t.Fatalf("baseline replay: %v", err)
+				}
+				if !base.Failed() {
+					t.Errorf("session-less baseline survived the fault (delivered %d/%d, drained %v) — scenario does not bite",
+						base.MinDelivered, base.Sent, base.Drained)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosResendAccounting pins that a mid-transfer relay crash forces the
+// surviving root to actually re-send: the bytes re-sent must match the
+// resend count and the recovery histogram input must be finite.
+func TestChaosResendAccounting(t *testing.T) {
+	sc := CrashRelay(8, 7)
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResentBytes != res.Resent*uint64(sc.MsgBytes) {
+		t.Errorf("resent bytes %d inconsistent with %d resends of %d bytes",
+			res.ResentBytes, res.Resent, sc.MsgBytes)
+	}
+	if res.BaselineSeconds <= 0 || res.RecoverySeconds > res.BaselineSeconds*20 {
+		t.Errorf("recovery %.6fs implausible against baseline %.6fs", res.RecoverySeconds, res.BaselineSeconds)
+	}
+}
+
+// TestChaosSeedsAreDeterministic runs the same scenario twice and expects
+// bit-identical results — the whole point of the virtual-time harness.
+func TestChaosSeedsAreDeterministic(t *testing.T) {
+	sc := CrashRoot(4, 3)
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged:\n  %+v\n  %+v", a, b)
+	}
+}

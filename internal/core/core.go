@@ -150,6 +150,12 @@ type Engine struct {
 	mu     sync.Mutex // creation/close gate; see the package comment
 	closed bool
 
+	// failObs, when non-nil, observes every externally reported node
+	// failure (NotifyFailure) after group-level handling — the hook a
+	// membership layer uses to wedge its sessions. Installed before any
+	// engine activity via SetFailureObserver.
+	failObs func(rdma.NodeID)
+
 	// eobs is the engine's observability sink; nil (the default) disables
 	// all instrumentation. Installed via SetObserver before any activity.
 	eobs *engineObs
@@ -174,6 +180,17 @@ func NewEngine(provider rdma.Provider, ctrl Control, host Host) *Engine {
 
 // NodeID returns the engine's node identity.
 func (e *Engine) NodeID() rdma.NodeID { return e.provider.NodeID() }
+
+// Now returns the host clock (virtual time in the simulator, time since
+// start on real transports) — for layers above the engine that must stamp
+// events on the same timeline as the protocol.
+func (e *Engine) Now() time.Duration { return e.host.Now() }
+
+// SetFailureObserver installs (or, with nil, removes) a callback run on every
+// node failure reported through NotifyFailure, after the engine's own groups
+// have handled it. Like SetObserver it must be installed before activity:
+// the pointer is read without synchronization on the notification path.
+func (e *Engine) SetFailureObserver(fn func(rdma.NodeID)) { e.failObs = fn }
 
 // Errors returned by the engine.
 var (
@@ -244,6 +261,9 @@ func (e *Engine) NotifyFailure(node rdma.NodeID) {
 		runAll(cbs)
 		return true
 	})
+	if fn := e.failObs; fn != nil {
+		fn(node)
+	}
 }
 
 // group resolves a group id through the read-mostly table.

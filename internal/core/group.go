@@ -319,6 +319,77 @@ func (g *Group) teardownLocked() {
 	g.engine.groups.Delete(g.id)
 }
 
+// PendingSend is one queued message captured by Wedge: assigned its sequence
+// but not yet (fully) transferred. Data is nil for metadata-only messages.
+type PendingSend struct {
+	Seq  int
+	Size int64
+	Data []byte
+}
+
+// DrainState is the frozen progress of a wedged group, for a membership layer
+// deciding what must be re-sent after a view change.
+type DrainState struct {
+	// Delivered counts messages locally complete.
+	Delivered int
+	// NextSeq is the next sequence this member would assign (root) or
+	// expects to see (member).
+	NextSeq int
+	// InFlightSeq is the sequence of the transfer that was active when the
+	// group wedged, or -1 if the group was idle.
+	InFlightSeq int
+	// Pending are the queued-but-unstarted messages (sends on the root,
+	// announced prepares on members).
+	Pending []PendingSend
+}
+
+// Wedge freezes the group without failing it: the state machine stops, the
+// group leaves the engine's routing table (stray completions and control
+// messages for it are dropped silently), no further callbacks fire, and the
+// frozen progress is returned. Unlike Destroy, Wedge keeps the queue pairs
+// open — closing them would surface broken completions at live peers that
+// have not wedged yet, turning a clean view change into a storm of spurious
+// suspicions. Call CloseConnections once every survivor has wedged.
+func (g *Group) Wedge() DrainState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ds := DrainState{
+		Delivered:   g.delivered,
+		NextSeq:     g.seq,
+		InFlightSeq: -1,
+	}
+	if g.current != nil {
+		ds.InFlightSeq = g.current.seq
+	}
+	for _, p := range g.pending {
+		ps := PendingSend{Seq: p.seq, Size: p.size}
+		if p.buf.Data != nil {
+			ps.Data = p.buf.Data
+		}
+		ds.Pending = append(ds.Pending, ps)
+	}
+	if g.state != stateClosed {
+		g.state = stateClosed
+		g.engine.groups.Delete(g.id)
+	}
+	g.current = nil
+	g.pending = nil
+	g.closeCb = nil
+	return ds
+}
+
+// CloseConnections releases a wedged group's queue pairs. Safe to call once
+// all peers have wedged the group too (its id is gone from every engine's
+// routing table, so the broken completions a close provokes are dropped).
+func (g *Group) CloseConnections() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, qp := range g.qps {
+		_ = qp.Close()
+	}
+	g.qps = make(map[int]rdma.QueuePair)
+}
+
 // rankOf returns the rank of a node, or -1.
 func (g *Group) rankOf(node rdma.NodeID) int {
 	for i, m := range g.members {

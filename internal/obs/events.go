@@ -47,6 +47,14 @@ const (
 	// EvBatchDispatch records one same-group completion run processed under
 	// a single lock acquisition: Arg is the run length.
 	EvBatchDispatch
+	// EvSessionWedge / EvSessionInstall / EvSessionResend record the
+	// membership layer above the engine: a session wedging on a suspected
+	// failure (Arg is the epoch being abandoned), installing a new epoch
+	// (Arg is the epoch number), and re-sending a message that was not
+	// globally stable when its epoch died (Arg is the session sequence).
+	EvSessionWedge
+	EvSessionInstall
+	EvSessionResend
 )
 
 // String returns the event kind's name (used by the trace exporter).
@@ -78,6 +86,12 @@ func (k EventKind) String() string {
 		return "delivered"
 	case EvBatchDispatch:
 		return "batch_dispatch"
+	case EvSessionWedge:
+		return "session_wedge"
+	case EvSessionInstall:
+		return "session_install"
+	case EvSessionResend:
+		return "session_resend"
 	default:
 		return "unknown"
 	}

@@ -52,6 +52,7 @@ func Run(t *testing.T, f Factory) {
 		{"PostedRecvTooSmallBreaksQueuePair", testPostedRecvTooSmall},
 		{"LateRecvTooSmallReturnsErrorAndBreaks", testLateRecvTooSmall},
 		{"QueuePairCloseFailsOutstandingWork", testQPCloseFailsOutstanding},
+		{"BrokenMidWindowedTransferPropagates", testBrokenMidWindow},
 		{"ProviderCloseRefusesNewWork", testProviderClose},
 	}
 	for _, tc := range suite {
@@ -520,6 +521,121 @@ func testQPCloseFailsOutstanding(t *testing.T, h *Harness) {
 	if err := qb.PostSend(rdma.SizeBuffer(1), 0, 2); err != rdma.ErrBroken {
 		t.Errorf("post on closed qp: err = %v, want ErrBroken", err)
 	}
+}
+
+// testBrokenMidWindow pins what the engine's failure path depends on: when a
+// queue pair is torn down with a whole send window in flight, the surviving
+// end must not lose work requests silently. Every accepted WR completes
+// exactly once — StatusOK for the prefix that landed before the break,
+// StatusBroken for everything after — and new posts eventually return
+// ErrBroken on BOTH ends, even though the transports discover the break
+// differently (the simulated NIC at delivery time, the TCP NIC when the
+// socket dies). The timing race is real on the TCP transport, so the test
+// asserts shape (exactly-once, an OK prefix), not a fixed OK count.
+func testBrokenMidWindow(t *testing.T, h *Harness) {
+	sa, sb := attach(h)
+	qa, qb := connect(t, h, 1)
+
+	// Warm-up round trip: connection setup is asynchronous on the TCP
+	// transport, and a close that lands before the dial completes breaks
+	// only the closing end — the point here is a break with a LIVE wire
+	// and a window in flight. WRIDs >= 1000 stay out of burst accounting.
+	if err := qb.PostRecv(rdma.SizeBuffer(16), 2000); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSend(rdma.SizeBuffer(16), 0, 2000); err != nil {
+		t.Fatal(err)
+	}
+	sa.waitN(t, h, 1)
+	sb.waitN(t, h, 1)
+
+	const n = 16
+	const recvsPosted = 4
+	for i := 0; i < recvsPosted; i++ {
+		if err := qb.PostRecv(rdma.MakeBuffer(make([]byte, 8<<10)), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := qa.PostSend(rdma.MakeBuffer(bytes.Repeat([]byte{byte(i + 1)}, 8<<10)), uint32(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Tear the receiving end down with the window still in flight.
+	if err := qb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := qb.PostRecv(rdma.SizeBuffer(8), 500); err != rdma.ErrBroken {
+		t.Fatalf("recv on closed qp: err = %v, want ErrBroken", err)
+	}
+
+	// The sender must eventually refuse new work. Until the break
+	// propagates, posts are accepted (and later complete StatusBroken);
+	// WRIDs >= 1000 keep these probes out of the burst's accounting.
+	deadline := time.Now().Add(10 * time.Second)
+	for probe := uint64(1000); ; probe++ {
+		h.Settle()
+		if err := qa.PostSend(rdma.SizeBuffer(8), 0, probe); err == rdma.ErrBroken {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sender never surfaced ErrBroken after the peer broke mid-window")
+		}
+	}
+
+	// Exactly-once per burst WR, OK forming a FIFO prefix then Broken.
+	checkBurst := func(side string, got []rdma.Completion, op rdma.OpType, total int) {
+		t.Helper()
+		status := make(map[uint64]rdma.Status, total)
+		for _, c := range got {
+			if c.Op != op || c.WRID >= uint64(total) {
+				continue // probe traffic
+			}
+			if _, dup := status[c.WRID]; dup {
+				t.Fatalf("%s WR %d completed twice", side, c.WRID)
+			}
+			status[c.WRID] = c.Status
+		}
+		if len(status) != total {
+			t.Fatalf("%s completed %d of %d burst WRs", side, len(status), total)
+		}
+		okDone := false
+		for i := 0; i < total; i++ {
+			switch status[uint64(i)] {
+			case rdma.StatusOK:
+				if okDone {
+					t.Fatalf("%s WR %d OK after an earlier broken WR (not a FIFO prefix)", side, i)
+				}
+			case rdma.StatusBroken:
+				okDone = true
+			default:
+				t.Fatalf("%s WR %d has status %v", side, i, status[uint64(i)])
+			}
+		}
+	}
+	waitOp := func(s *sink, op rdma.OpType, total int) []rdma.Completion {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			h.Settle()
+			got := s.snapshot()
+			count := 0
+			for _, c := range got {
+				if c.Op == op && c.WRID < uint64(total) {
+					count++
+				}
+			}
+			if count >= total {
+				return got
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out with %d of %d %v completions", count, total, op)
+			}
+		}
+	}
+	checkBurst("sender", waitOp(sa, rdma.OpSend, n), rdma.OpSend, n)
+	checkBurst("receiver", waitOp(sb, rdma.OpRecv, recvsPosted), rdma.OpRecv, recvsPosted)
 }
 
 func testProviderClose(t *testing.T, h *Harness) {

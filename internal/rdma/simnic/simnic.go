@@ -291,9 +291,16 @@ func (q *queuePair) transmit(e *sendEntry) {
 
 // drainFlight delivers finished flows in post order: completion to the local
 // node, arrival to the remote, head of the window first. A flow that landed
-// ahead of an unfinished predecessor waits in the reorder buffer.
+// ahead of an unfinished predecessor waits in the reorder buffer. Delivering
+// into a peer endpoint that was closed unilaterally breaks this end instead —
+// the RC behavior when retries against a torn-down QP exhaust — so a sender
+// learns its peer is gone the same way it would on the TCP transport.
 func (q *queuePair) drainFlight() {
 	for !q.broken && len(q.flight) > 0 && q.flight[0].done {
+		if q.remote != nil && q.remote.broken {
+			q.breakConn()
+			return
+		}
 		e := q.flight[0]
 		q.flight = q.flight[1:]
 		wr := e.wr

@@ -1,0 +1,57 @@
+package session
+
+import (
+	"time"
+
+	"rdmc/internal/obs"
+	"rdmc/internal/rdma"
+)
+
+// sessionObs is the session's pre-resolved instrumentation, following the
+// engine's pattern: every instrument is looked up once at construction so the
+// protocol paths never take the registry lock, and a nil *sessionObs (no
+// observer configured) disables everything behind a single pointer test with
+// no allocation.
+type sessionObs struct {
+	ring *obs.Ring
+	node int32
+	id   uint32
+
+	epochs  *obs.Counter // epochs installed (including the first)
+	resends *obs.Counter // messages re-sent across view changes
+	wedges  *obs.Counter // wedge transitions
+
+	recovery *obs.Histogram // wedge-to-install latency, milliseconds
+}
+
+// newSessionObs resolves the instruments, or returns nil when o is nil.
+func newSessionObs(o *obs.Obs, node rdma.NodeID, id uint32) *sessionObs {
+	if o == nil {
+		return nil
+	}
+	r := o.Registry()
+	return &sessionObs{
+		ring:     o.Ring(),
+		node:     int32(node),
+		id:       id,
+		epochs:   r.Counter("session.epochs"),
+		resends:  r.Counter("session.resends"),
+		wedges:   r.Counter("session.wedges"),
+		recovery: r.Histogram("session.recovery_ms", obs.ExpBuckets(1, 2, 16)),
+	}
+}
+
+// record appends one structured session event; Arg is kind-specific (see the
+// event constants).
+func (so *sessionObs) record(at time.Duration, kind obs.EventKind, arg int64) {
+	so.ring.Record(obs.Event{
+		At:    at,
+		Kind:  kind,
+		Node:  so.node,
+		Group: so.id,
+		Seq:   -1,
+		Block: -1,
+		Peer:  -1,
+		Arg:   arg,
+	})
+}

@@ -1,0 +1,56 @@
+package session
+
+import (
+	"testing"
+	"time"
+
+	"rdmc/internal/obs"
+)
+
+// TestObsDisabledPathAllocatesNothing pins the contract the hot paths rely
+// on: with no observer configured (so == nil) the instrumentation guard is a
+// single pointer test, and even the enabled path records without allocating
+// (events are pointer-free, counters are pre-resolved).
+func TestObsDisabledPathAllocatesNothing(t *testing.T) {
+	m := &Manager{}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if m.so != nil {
+			m.so.epochs.Inc()
+			m.so.record(0, obs.EvSessionWedge, 1)
+		}
+	}); allocs != 0 {
+		t.Errorf("disabled path allocates %v per op, want 0", allocs)
+	}
+
+	so := newSessionObs(obs.New(64), 3, testObsID)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		so.epochs.Inc()
+		so.resends.Inc()
+		so.recovery.Observe(5)
+		so.record(time.Millisecond, obs.EvSessionInstall, 2)
+	}); allocs != 0 {
+		t.Errorf("enabled path allocates %v per op, want 0", allocs)
+	}
+}
+
+const testObsID = 42
+
+func BenchmarkSessionObsDisabled(b *testing.B) {
+	m := &Manager{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if m.so != nil {
+			m.so.epochs.Inc()
+			m.so.record(0, obs.EvSessionWedge, 1)
+		}
+	}
+}
+
+func BenchmarkSessionObsEnabled(b *testing.B) {
+	so := newSessionObs(obs.New(1024), 0, testObsID)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		so.epochs.Inc()
+		so.record(time.Duration(i), obs.EvSessionResend, int64(i))
+	}
+}

@@ -151,10 +151,27 @@ func (c *Cluster) BreakLink(src, dst NodeID) {
 	c.breakMatching(func(t transferState) bool { return t.src == src && t.dst == dst })
 }
 
+// RestoreLink heals the directed pair src→dst after BreakLink: transfers
+// started after the call route normally again. Transfers broken while the
+// link was down stay broken — the retry timeout already fired or is armed —
+// so healing re-admits new traffic without rewriting history, which is what a
+// transient partition looks like to the endpoints.
+func (c *Cluster) RestoreLink(src, dst NodeID) {
+	delete(c.broken, [2]NodeID{src, dst})
+}
+
 // FailNode takes a host down: every transfer to or from it breaks.
 func (c *Cluster) FailNode(id NodeID) {
 	c.nodes[id].down = true
 	c.breakMatching(func(t transferState) bool { return t.src == id || t.dst == id })
+}
+
+// RestoreNode brings a failed host back: new transfers to and from it are
+// admitted again. Links broken individually with BreakLink stay broken until
+// their own RestoreLink. Higher layers decide what a restored node means —
+// the cluster only reopens the paths.
+func (c *Cluster) RestoreNode(id NodeID) {
+	c.nodes[id].down = false
 }
 
 // NodeFailed reports whether the host was failed.

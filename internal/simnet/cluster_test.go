@@ -199,6 +199,105 @@ func TestClusterFailNodeBreaksBothDirections(t *testing.T) {
 	}
 }
 
+func TestClusterRestoreLinkReadmitsNewTransfers(t *testing.T) {
+	s := NewSim(1)
+	cfg := testConfig(2)
+	cfg.RetryTimeout = 0.01
+	c, _ := NewCluster(s, cfg)
+
+	// Break at 0.1 with a transfer in flight, heal at 0.3, start a fresh
+	// transfer at 0.4: the first breaks, the second completes normally.
+	var firstBroken, secondBroken bool
+	var secondDone float64 = -1
+	c.Transfer(0, 1, 100, func(b bool) { firstBroken = b })
+	s.At(0.1, func() { c.BreakLink(0, 1) })
+	s.At(0.3, func() { c.RestoreLink(0, 1) })
+	s.At(0.4, func() {
+		c.Transfer(0, 1, 50, func(b bool) {
+			secondBroken = b
+			secondDone = s.Now()
+		})
+	})
+	s.Run()
+	if !firstBroken {
+		t.Error("in-flight transfer survived the partition")
+	}
+	if secondBroken {
+		t.Error("transfer after RestoreLink still broken")
+	}
+	approx(t, secondDone, 0.4+0.001+0.5, 1e-9, "post-heal transfer timing")
+}
+
+func TestClusterRestoreLinkIsDirectional(t *testing.T) {
+	s := NewSim(1)
+	cfg := testConfig(2)
+	cfg.RetryTimeout = 0.01
+	c, _ := NewCluster(s, cfg)
+	c.BreakLink(0, 1)
+	c.BreakLink(1, 0)
+	c.RestoreLink(0, 1)
+	var fwd, rev bool
+	c.Transfer(0, 1, 10, func(b bool) { fwd = b })
+	c.Transfer(1, 0, 10, func(b bool) { rev = b })
+	s.Run()
+	if fwd {
+		t.Error("restored direction 0→1 still broken")
+	}
+	if !rev {
+		t.Error("direction 1→0 healed without RestoreLink")
+	}
+}
+
+func TestClusterRestoreNodeReadmitsTraffic(t *testing.T) {
+	s := NewSim(1)
+	cfg := testConfig(3)
+	cfg.RetryTimeout = 0.01
+	c, _ := NewCluster(s, cfg)
+	c.FailNode(1)
+	var whileDown bool
+	c.Transfer(0, 1, 10, func(b bool) { whileDown = b })
+	s.At(0.2, func() { c.RestoreNode(1) })
+	var afterUp, ctrlSeen bool
+	var afterDone float64 = -1
+	s.At(0.3, func() {
+		c.Transfer(1, 2, 10, func(b bool) {
+			afterUp = b
+			afterDone = s.Now()
+		})
+		c.Ctrl(0, 1, func() { ctrlSeen = true })
+	})
+	s.Run()
+	if !whileDown {
+		t.Error("transfer to a failed node did not break")
+	}
+	if c.NodeFailed(1) {
+		t.Error("NodeFailed(1) = true after RestoreNode")
+	}
+	if afterUp {
+		t.Error("transfer from restored node broke")
+	}
+	if !ctrlSeen {
+		t.Error("ctrl message to restored node was dropped")
+	}
+	approx(t, afterDone, 0.3+0.001+0.1, 1e-9, "post-restore transfer timing")
+}
+
+func TestClusterRestoreNodeKeepsBrokenLinksBroken(t *testing.T) {
+	s := NewSim(1)
+	cfg := testConfig(2)
+	cfg.RetryTimeout = 0.01
+	c, _ := NewCluster(s, cfg)
+	c.BreakLink(0, 1)
+	c.FailNode(1)
+	c.RestoreNode(1)
+	var broken bool
+	c.Transfer(0, 1, 10, func(b bool) { broken = b })
+	s.Run()
+	if !broken {
+		t.Error("RestoreNode healed a link broken with BreakLink")
+	}
+}
+
 func TestClusterCtrlDeliveryAndDropOnBrokenPath(t *testing.T) {
 	s := NewSim(1)
 	c, _ := NewCluster(s, testConfig(2))

@@ -38,7 +38,15 @@ func region(id uint32) rdma.RegionID { return rdma.RegionID(id | 1<<30) }
 
 // New creates the local endpoint. Every member calls New with identical
 // arguments; rows start zeroed.
-func New(provider rdma.Provider, id uint32, members []rdma.NodeID, cols int) (*Table, error) {
+//
+// onPush, when non-nil, runs whenever a remote member pushes an update into
+// the local replica (the polling thread a real SST runs), with the updated
+// row and column. It is installed before any queue pair is connected, so no
+// remote write can ever land unobserved; because a cell has exactly one
+// writer and the watcher runs on the thread that just applied that cell,
+// reading the reported cell from inside the callback is race-free even on
+// multi-threaded transports.
+func New(provider rdma.Provider, id uint32, members []rdma.NodeID, cols int, onPush func(row, col int)) (*Table, error) {
 	if cols < 1 {
 		return nil, fmt.Errorf("sst: need at least one column, got %d", cols)
 	}
@@ -68,6 +76,16 @@ func New(provider rdma.Provider, id uint32, members []rdma.NodeID, cols int) (*T
 	if err := provider.RegisterRegion(region(id), t.local); err != nil {
 		return nil, err
 	}
+	if onPush != nil {
+		t.onPush = onPush
+		err := provider.WatchRegion(region(id), func(offset, _ int) {
+			cell := offset / 8
+			onPush(cell/t.cols, cell%t.cols)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	for rank, m := range members {
 		if rank == t.rank {
 			t.qps = append(t.qps, nil)
@@ -86,19 +104,6 @@ func New(provider rdma.Provider, id uint32, members []rdma.NodeID, cols int) (*T
 	return t, nil
 }
 
-// Watch installs fn to run whenever a remote member pushes an update into
-// the local replica (the polling thread a real SST runs). fn receives the
-// updated row and column.
-func (t *Table) Watch(fn func(row, col int)) error {
-	t.onPush = fn
-	return t.provider.WatchRegion(region(t.id), func(offset, _ int) {
-		cell := offset / 8
-		if fn != nil {
-			fn(cell/t.cols, cell%t.cols)
-		}
-	})
-}
-
 // Rank returns the local member's row index.
 func (t *Table) Rank() int { return t.rank }
 
@@ -113,21 +118,28 @@ func (t *Table) Get(row, col int) uint64 {
 // updates the local replica and pushes the cell to every other member with
 // one-sided writes. Values on a row must be monotone for ColumnMin to be
 // meaningful, as in Derecho's monotonic-predicate design.
+//
+// A push that fails — typically because that member died and its queue pair
+// broke — does not stop propagation to the remaining members: during a view
+// change the survivors behind a dead peer in iteration order still need every
+// update, or the recovery protocol would wait forever on rows that were never
+// written. The first error is returned after all pushes were attempted.
 func (t *Table) Set(col uint, value uint64) error {
 	if int(col) >= t.cols {
 		return fmt.Errorf("sst: column %d out of range (%d columns)", col, t.cols)
 	}
 	off := t.offset(t.rank, int(col))
 	binary.LittleEndian.PutUint64(t.local[off:], value)
+	var firstErr error
 	for rank, qp := range t.qps {
 		if qp == nil {
 			continue
 		}
-		if err := qp.PostWrite(region(t.id), off, t.local[off:off+8], value); err != nil {
-			return fmt.Errorf("sst: push to rank %d: %w", rank, err)
+		if err := qp.PostWrite(region(t.id), off, t.local[off:off+8], value); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("sst: push to rank %d: %w", rank, err)
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // ColumnMin returns the minimum of a column across all rows — the stable

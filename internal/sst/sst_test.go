@@ -29,7 +29,7 @@ func testTables(t *testing.T, n, cols int) (*simnet.Sim, []*Table) {
 	for i := 0; i < n; i++ {
 		p := network.Provider(ids[i])
 		p.SetHandler(func(rdma.Completion) {})
-		tb, err := New(p, 7, ids, cols)
+		tb, err := New(p, 7, ids, cols, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,10 +73,30 @@ func TestColumnMin(t *testing.T) {
 }
 
 func TestWatchFiresOnRemoteUpdates(t *testing.T) {
-	sim, tables := testTables(t, 2, 1)
-	var updates [][2]int
-	if err := tables[1].Watch(func(row, col int) { updates = append(updates, [2]int{row, col}) }); err != nil {
+	sim := simnet.NewSim(1)
+	cluster, err := simnet.NewCluster(sim, simnet.ClusterConfig{
+		Nodes:         2,
+		LinkBandwidth: 1e9,
+		Latency:       1e-6,
+		CPU:           simnet.CPUConfig{Mode: simnet.ModePolling},
+	})
+	if err != nil {
 		t.Fatal(err)
+	}
+	network := simnic.NewNetwork(cluster)
+	ids := []rdma.NodeID{0, 1}
+	tables := make([]*Table, 2)
+	var updates [][2]int
+	for i := range ids {
+		p := network.Provider(ids[i])
+		p.SetHandler(func(rdma.Completion) {})
+		var onPush func(row, col int)
+		if i == 1 {
+			onPush = func(row, col int) { updates = append(updates, [2]int{row, col}) }
+		}
+		if tables[i], err = New(p, 7, ids, 1, onPush); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := tables[0].Set(0, 5); err != nil {
 		t.Fatal(err)
@@ -101,6 +121,48 @@ func TestRowCopy(t *testing.T) {
 	}
 }
 
+func TestSetKeepsPushingPastDeadMember(t *testing.T) {
+	sim := simnet.NewSim(1)
+	cluster, err := simnet.NewCluster(sim, simnet.ClusterConfig{
+		Nodes:         3,
+		LinkBandwidth: 1e9,
+		Latency:       1e-6,
+		RetryTimeout:  1e-4,
+		CPU:           simnet.CPUConfig{Mode: simnet.ModePolling},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	network := simnic.NewNetwork(cluster)
+	ids := []rdma.NodeID{0, 1, 2}
+	tables := make([]*Table, 3)
+	for i := range ids {
+		p := network.Provider(ids[i])
+		p.SetHandler(func(rdma.Completion) {})
+		if tables[i], err = New(p, 7, ids, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Node 1 dies. The first Set's push into it breaks the 0↔1 queue pair
+	// after the retry timeout; the second Set then sees a posting error for
+	// rank 1 but must still reach rank 2 — a survivor behind the dead peer
+	// in iteration order.
+	cluster.FailNode(1)
+	if err := tables[0].Set(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	err = tables[0].Set(0, 2)
+	if err == nil {
+		t.Error("Set reported no error with a broken member push")
+	}
+	sim.Run()
+	if got := tables[2].Get(0, 0); got != 2 {
+		t.Errorf("survivor replica = %d, want 2 (push must continue past the dead member)", got)
+	}
+}
+
 func TestValidation(t *testing.T) {
 	sim, _ := testTables(t, 2, 1)
 	_ = sim
@@ -113,19 +175,19 @@ func TestValidation(t *testing.T) {
 	p := simnic.NewNetwork(cluster).Provider(0)
 	p.SetHandler(func(rdma.Completion) {})
 	ids := []rdma.NodeID{0, 1}
-	if _, err := New(p, 1, ids, 0); err == nil {
+	if _, err := New(p, 1, ids, 0, nil); err == nil {
 		t.Error("zero columns accepted")
 	}
-	if _, err := New(p, 1, []rdma.NodeID{0}, 1); err == nil {
+	if _, err := New(p, 1, []rdma.NodeID{0}, 1, nil); err == nil {
 		t.Error("single member accepted")
 	}
-	if _, err := New(p, 1<<30, ids, 1); err == nil {
+	if _, err := New(p, 1<<30, ids, 1, nil); err == nil {
 		t.Error("oversized id accepted")
 	}
-	if _, err := New(p, 1, []rdma.NodeID{4, 5}, 1); err == nil {
+	if _, err := New(p, 1, []rdma.NodeID{4, 5}, 1, nil); err == nil {
 		t.Error("non-member accepted")
 	}
-	tb, err := New(p, 1, ids, 1)
+	tb, err := New(p, 1, ids, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

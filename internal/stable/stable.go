@@ -74,14 +74,11 @@ func New(engine *core.Engine, provider rdma.Provider, id core.GroupID, members [
 		buffered: make(map[int]bufferedMsg),
 	}
 
-	table, err := sst.New(provider, uint32(id), members, 1)
+	table, err := sst.New(provider, uint32(id), members, 1, func(row, col int) { g.tryDeliver() })
 	if err != nil {
 		return nil, fmt.Errorf("stable: status table: %w", err)
 	}
 	g.table = table
-	if err := table.Watch(func(row, col int) { g.tryDeliver() }); err != nil {
-		return nil, fmt.Errorf("stable: watch table: %w", err)
-	}
 
 	inner, err := engine.CreateGroup(id, members, core.GroupConfig{
 		BlockSize: cfg.BlockSize,

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"rdmc/internal/core"
+	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
 	"rdmc/internal/schedule"
 )
@@ -149,9 +150,13 @@ func (c GroupConfig) coreConfig(cbs Callbacks) (core.GroupConfig, error) {
 
 // Node is one process's RDMC endpoint over some transport.
 type Node struct {
-	engine  *core.Engine
-	id      int
-	closers []func() error
+	engine *core.Engine
+	id     int
+	// provider is the node's NIC, kept for layers that need their own
+	// queue pairs beside the engine's (sessions' status tables).
+	provider rdma.Provider
+	observer *obs.Obs
+	closers  []func() error
 }
 
 // ID returns the node's identity.

@@ -3,6 +3,7 @@ package rdmc
 import (
 	"time"
 
+	"rdmc/internal/rdma"
 	"rdmc/internal/simhost"
 	"rdmc/internal/simnet"
 )
@@ -83,7 +84,12 @@ func NewSimCluster(cfg SimConfig) (*SimCluster, error) {
 	}
 	c := &SimCluster{grid: grid}
 	for i := 0; i < cfg.Nodes; i++ {
-		c.nodes = append(c.nodes, &Node{engine: grid.Engine(i), id: i})
+		c.nodes = append(c.nodes, &Node{
+			engine:   grid.Engine(i),
+			id:       i,
+			provider: grid.Network().Provider(rdma.NodeID(i)),
+			observer: cfg.Observer.sink(),
+		})
 	}
 	return c, nil
 }
@@ -119,6 +125,34 @@ func (c *SimCluster) At(t time.Duration, fn func()) {
 // FailNode crashes a node at the current virtual time: its links break and
 // survivors' failure detectors fire.
 func (c *SimCluster) FailNode(i int) { c.grid.FailNode(i) }
+
+// BreakLink severs the directed link from src to dst at the current virtual
+// time: in-flight transfers on it fail after the retry timeout, and no
+// failure detector fires — partition experiments drive suspicion purely
+// through broken transfers (or NotifyFailure below).
+func (c *SimCluster) BreakLink(src, dst int) {
+	c.grid.Cluster().BreakLink(simnet.NodeID(src), simnet.NodeID(dst))
+}
+
+// RestoreLink undoes BreakLink. Healed links carry new connections; queue
+// pairs that broke while the link was down stay broken, as on real RC
+// hardware.
+func (c *SimCluster) RestoreLink(src, dst int) {
+	c.grid.Cluster().RestoreLink(simnet.NodeID(src), simnet.NodeID(dst))
+}
+
+// RestoreNode undoes FailNode's link damage (the node's engine state is NOT
+// resurrected — a restarted process would rejoin with fresh state).
+func (c *SimCluster) RestoreNode(i int) {
+	c.grid.Cluster().RestoreNode(simnet.NodeID(i))
+}
+
+// NotifyFailure injects a failure-detector verdict on node i's engine: every
+// group and session containing the accused reacts as if the bootstrap mesh
+// had reported it down.
+func (c *SimCluster) NotifyFailure(i, accused int) {
+	c.grid.Engine(i).NotifyFailure(rdma.NodeID(accused))
+}
 
 // SetLinkBandwidthGbps overrides the capacity of the directed link from src
 // to dst (the §4.5 slow-link experiments); zero restores the default.

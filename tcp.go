@@ -87,6 +87,8 @@ func newTCPNode(cfg TCPConfig, dataLn, ctrlLn net.Listener) (*Node, error) {
 
 	node.engine = core.NewEngine(provider, m, realHost{start: time.Now()})
 	node.engine.SetObserver(cfg.Observer.sink())
+	node.provider = provider
+	node.observer = cfg.Observer.sink()
 	node.closers = append(node.closers, m.Close)
 	return node, nil
 }
