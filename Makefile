@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench-json check
+.PHONY: all build test race vet bench-smoke bench-json check golden golden-record scenario scenarios
 
 all: build
 
@@ -28,5 +28,23 @@ bench-smoke:
 # output (benchstat-compatible Output lines) wrapped in test2json events.
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkSendWindow|BenchmarkConcurrentGroups|BenchmarkNodePlan' -benchtime 5x -count 1 -json . > BENCH_sendwindow.json
+
+# Golden regression gate: regenerate the pinned quick-scale datasets in
+# memory and fail on any divergence. `make golden-record` refreshes the
+# pins after an intentional change.
+golden:
+	$(GO) run ./cmd/rdmcbench -golden check
+
+golden-record:
+	$(GO) run ./cmd/rdmcbench -golden record
+
+# Replay one scenario config: make scenario SCEN=scenarios/cosmos.json
+scenario:
+	@test -n "$(SCEN)" || { echo "usage: make scenario SCEN=scenarios/<name>.json"; exit 1; }
+	$(GO) run ./cmd/rdmcbench -scenario $(SCEN)
+
+# Regenerate the shipped scenarios/ directory from the library configs.
+scenarios:
+	$(GO) test ./internal/scenario -run TestShippedConfigsMatchLibrary -update-scenarios
 
 check: build vet test race

@@ -7,10 +7,18 @@
 //	rdmcbench -exp fig4a [-full]
 //	rdmcbench -all [-full]
 //	rdmcbench -exp fig8 -full -cpuprofile fig8.pprof
+//	rdmcbench -scenario scenarios/cosmos.json
+//	rdmcbench -golden check [-golden-dir testdata/golden]
 //
 // Each experiment prints the same rows or series the paper reports, with the
 // paper's qualitative result noted for comparison. -full uses the paper's
 // complete parameter ranges; the default trims sweeps for fast runs.
+//
+// -scenario replays a declarative workload config (see internal/scenario and
+// the shipped scenarios/ directory) through the generic runner. -golden
+// record regenerates the pinned quick-scale datasets under testdata/golden/;
+// -golden check regenerates them in memory and fails on any divergence —
+// the determinism regression gate CI runs.
 //
 // With -all, experiments run concurrently — each owns a private simulation,
 // so they share nothing but the process — while the reports print in the
@@ -29,6 +37,7 @@ import (
 
 	"rdmc/internal/bench"
 	"rdmc/internal/obs"
+	"rdmc/internal/scenario"
 	"rdmc/internal/schedule"
 )
 
@@ -50,6 +59,9 @@ func run(args []string) error {
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		metrics    = fs.String("metrics", "", "write a metrics snapshot (JSON) to this file on exit; - for stderr")
 		tracefile  = fs.String("tracefile", "", "write a Chrome-trace-format event dump to this file on exit")
+		scen       = fs.String("scenario", "", "replay a scenario config file (JSON)")
+		golden     = fs.String("golden", "", "golden datasets: record or check")
+		goldenDir  = fs.String("golden-dir", bench.DefaultGoldenDir, "directory holding the golden datasets")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,6 +128,19 @@ func run(args []string) error {
 		}
 		return nil
 
+	case *scen != "":
+		return runScenarioFile(*scen, scale)
+
+	case *golden != "":
+		switch *golden {
+		case "record":
+			return bench.GoldenRecord(*goldenDir)
+		case "check":
+			return bench.GoldenCheck(*goldenDir)
+		default:
+			return fmt.Errorf("rdmcbench: -golden wants record or check, got %q", *golden)
+		}
+
 	case *all:
 		return runAll(registry, scale)
 
@@ -129,8 +154,22 @@ func run(args []string) error {
 
 	default:
 		fs.Usage()
-		return fmt.Errorf("rdmcbench: pass -list, -all, or -exp <id>")
+		return fmt.Errorf("rdmcbench: pass -list, -all, -exp <id>, -scenario <file>, or -golden record|check")
 	}
+}
+
+// runScenarioFile loads a scenario config and replays it through the
+// generic runner, printing the report like any registered experiment.
+func runScenarioFile(path string, scale bench.Scale) error {
+	cfg, err := scenario.LoadFile(path)
+	if err != nil {
+		return fmt.Errorf("rdmcbench: %w", err)
+	}
+	start := time.Now()
+	report := bench.RunScenario(cfg, scale)
+	fmt.Print(report.String())
+	fmt.Printf("(generated in %.1fs wall time)\n", time.Since(start).Seconds())
+	return nil
 }
 
 // writeObs dumps the observability sink: the metrics snapshot as JSON and the

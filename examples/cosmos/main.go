@@ -76,29 +76,32 @@ func replay(algo rdmc.Algorithm, writes int, seed int64) ([]time.Duration, int64
 		latencies []time.Duration
 		bytes     int64
 		pending   = make(map[string]*rec)
-		roots     = make(map[[3]int]*rdmc.Group)
+		roots     = make(map[int]*rdmc.Group)
 		issue     func()
 		issued    int
 	)
-	key := func(g [3]int, seq int) string { return fmt.Sprintf("%v/%d", g, seq) }
-	seqOf := make(map[[3]int]int)
+	key := func(gi, seq int) string { return fmt.Sprintf("%d/%d", gi, seq) }
+	seqOf := make(map[int]int)
 
 	// Pre-create all 455 groups, off the critical path as in the paper.
-	for gi, triple := range gen.Groups() {
-		triple := triple
-		members := []int{0, triple[0] + 1, triple[1] + 1, triple[2] + 1}
+	for gi, set := range gen.Groups() {
+		gi := gi
+		members := []int{0}
+		for _, m := range set {
+			members = append(members, m+1)
+		}
 		for _, m := range members {
 			g, err := cluster.Node(m).CreateGroup(gi+1, members, rdmc.GroupConfig{
 				BlockSize: 1 << 20,
 				Algorithm: algo,
 			}, rdmc.Callbacks{
 				Completion: func(seq int, _ []byte, _ int) {
-					r := pending[key(triple, seq)]
+					r := pending[key(gi, seq)]
 					if r == nil {
 						return
 					}
 					if r.remaining--; r.remaining == 0 {
-						delete(pending, key(triple, seq))
+						delete(pending, key(gi, seq))
 						latencies = append(latencies, cluster.Now()-r.issued)
 						bytes += int64(r.size)
 						issue()
@@ -109,7 +112,7 @@ func replay(algo rdmc.Algorithm, writes int, seed int64) ([]time.Duration, int64
 				return nil, 0, 0, err
 			}
 			if g.Rank() == 0 {
-				roots[triple] = g
+				roots[gi] = g
 			}
 		}
 	}
@@ -119,11 +122,12 @@ func replay(algo rdmc.Algorithm, writes int, seed int64) ([]time.Duration, int64
 			return
 		}
 		w := gen.Next()
+		gi := gen.GroupIndex(w.Group)
 		issued++
-		seq := seqOf[w.Group]
-		seqOf[w.Group] = seq + 1
-		pending[key(w.Group, seq)] = &rec{issued: cluster.Now(), remaining: 4, size: w.Size}
-		if err := roots[w.Group].SendSized(w.Size); err != nil {
+		seq := seqOf[gi]
+		seqOf[gi] = seq + 1
+		pending[key(gi, seq)] = &rec{issued: cluster.Now(), remaining: 4, size: w.Size}
+		if err := roots[gi].SendSized(w.Size); err != nil {
 			panic(err)
 		}
 	}

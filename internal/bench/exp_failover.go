@@ -4,18 +4,52 @@ import (
 	"fmt"
 
 	"rdmc/internal/chaos"
+	"rdmc/internal/scenario"
 )
+
+// appendFailoverRow runs one chaos scenario plus its session-less baseline
+// and appends the recovery row. Shared by the failover experiment and the
+// generic scenario runner's fault path.
+func appendFailoverRow(r *Report, sc chaos.Scenario) {
+	res, err := chaos.Run(sc)
+	if err != nil {
+		r.Notes = append(r.Notes, fmt.Sprintf("%s/n=%d FAILED: %v", sc.Name, sc.Nodes, err))
+		return
+	}
+	base, err := chaos.RunBaseline(sc)
+	baseCell := "error"
+	switch {
+	case err != nil:
+		r.Notes = append(r.Notes, fmt.Sprintf("%s/n=%d baseline error: %v", sc.Name, sc.Nodes, err))
+	case base.Failed():
+		baseCell = fmt.Sprintf("short %d/%d", base.MinDelivered, base.Sent)
+	default:
+		baseCell = "survived(!)"
+		r.Notes = append(r.Notes, fmt.Sprintf("%s/n=%d: session-less baseline was NOT defeated", sc.Name, sc.Nodes))
+	}
+	r.Rows = append(r.Rows, []string{
+		sc.Name,
+		fmt.Sprintf("%d", sc.Nodes),
+		fmt.Sprintf("%d", res.Epochs),
+		us(res.RecoverySeconds),
+		fmt.Sprintf("%d", res.Resent),
+		fmt.Sprintf("%d", res.ResentBytes),
+		fmt.Sprintf("%d", res.Delivered),
+		baseCell,
+	})
+}
 
 // Failover measures the session layer's recovery path: for each cluster size
 // and fault — a mid-tree relay crash, a root crash, and a transient
 // cross-rack partition, each fired at 50% of the fault-free runtime — it
 // reports the majority's recovery latency (wedge to new-epoch install) and
-// how many bytes the surviving root re-sent to close the gap. Every run is
-// paired with a session-less replay of the same schedule to confirm the
-// fault actually defeats the bare engine; the paper stops at "the layer
-// above re-issues the multicast" (§2), so there is no paper row to match,
-// only the qualitative claim that recovery is finite and proportional to
-// the unstable suffix.
+// how many bytes the surviving root re-sent to close the gap. The fault
+// schedules are declarative scenario configs (scenario.FailoverSuite)
+// compiled onto the chaos harness. Every run is paired with a session-less
+// replay of the same schedule to confirm the fault actually defeats the
+// bare engine; the paper stops at "the layer above re-issues the multicast"
+// (§2), so there is no paper row to match, only the qualitative claim that
+// recovery is finite and proportional to the unstable suffix.
 func Failover(scale Scale) Report {
 	sizes := []int{4, 8}
 	if scale == Full {
@@ -31,33 +65,13 @@ func Failover(scale Scale) Report {
 		},
 	}
 	for _, n := range sizes {
-		for _, sc := range chaos.Scenarios(n, 1) {
-			res, err := chaos.Run(sc)
+		for _, cfg := range scenario.FailoverSuite(n, 1) {
+			sc, err := chaos.FromConfig(cfg)
 			if err != nil {
-				r.Notes = append(r.Notes, fmt.Sprintf("%s/n=%d FAILED: %v", sc.Name, n, err))
+				r.Notes = append(r.Notes, fmt.Sprintf("%s/n=%d config rejected: %v", cfg.Name, n, err))
 				continue
 			}
-			base, err := chaos.RunBaseline(sc)
-			baseCell := "error"
-			switch {
-			case err != nil:
-				r.Notes = append(r.Notes, fmt.Sprintf("%s/n=%d baseline error: %v", sc.Name, n, err))
-			case base.Failed():
-				baseCell = fmt.Sprintf("short %d/%d", base.MinDelivered, base.Sent)
-			default:
-				baseCell = "survived(!)"
-				r.Notes = append(r.Notes, fmt.Sprintf("%s/n=%d: session-less baseline was NOT defeated", sc.Name, n))
-			}
-			r.Rows = append(r.Rows, []string{
-				sc.Name,
-				fmt.Sprintf("%d", n),
-				fmt.Sprintf("%d", res.Epochs),
-				us(res.RecoverySeconds),
-				fmt.Sprintf("%d", res.Resent),
-				fmt.Sprintf("%d", res.ResentBytes),
-				fmt.Sprintf("%d", res.Delivered),
-				baseCell,
-			})
+			appendFailoverRow(&r, sc)
 		}
 	}
 	r.Notes = append(r.Notes,

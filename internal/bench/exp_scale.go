@@ -2,19 +2,17 @@ package bench
 
 import (
 	"fmt"
-	"sort"
 
-	"rdmc/internal/core"
-	"rdmc/internal/rdma"
+	"rdmc/internal/scenario"
 	"rdmc/internal/schedule"
-	"rdmc/internal/trace"
 )
 
 // Fig8Scalability reproduces Figure 8: total time to replicate a 256 MB
 // object to N nodes on the Sierra model. Sequential send scales linearly in
 // the receiver count while the binomial pipeline scales sub-linearly —
 // "whether making 127, 255 or 511 copies, the total time required is almost
-// the same".
+// the same". Each sweep point is the scenario.Fig8 config replayed with
+// both algorithms.
 func Fig8Scalability(scale Scale) Report {
 	sizes := []int{2, 8, 32, 128}
 	if scale == Full {
@@ -28,8 +26,13 @@ func Fig8Scalability(scale Scale) Report {
 	}
 	var firstBin, lastBin float64
 	for i, n := range sizes {
-		seq := multicastOnce(Sierra(n), schedule.New(schedule.Sequential), 256*mib, mib)
-		bin := multicastOnce(Sierra(n), schedule.New(schedule.BinomialPipeline), 256*mib, mib)
+		cfg := scenario.Fig8(n)
+		stream, err := scenario.Compile(cfg)
+		if err != nil {
+			panic(fmt.Sprintf("bench: fig8: %v", err))
+		}
+		seq := replayStream(cfg, stream, schedule.Sequential).lastDone
+		bin := replayStream(cfg, stream, schedule.BinomialPipeline).lastDone
 		r.Rows = append(r.Rows, []string{
 			fmt.Sprintf("%d", n), ms(seq), ms(bin), f1(seq / bin),
 		})
@@ -44,53 +47,41 @@ func Fig8Scalability(scale Scale) Report {
 	return r
 }
 
-// cosmosResult is the replay outcome for one algorithm.
-type cosmosResult struct {
-	latencies []float64 // per-write seconds
-	bytes     float64
-	elapsed   float64
-}
-
 // Fig9Cosmos reproduces Figure 9: the latency distribution of a
 // Cosmos-calibrated replication workload (3 random replicas out of 15,
 // log-normal sizes) replayed with sequential send, binomial tree, and
-// binomial pipeline, plus the aggregate replication throughput.
+// binomial pipeline, plus the aggregate replication throughput. The
+// workload is the canned scenario.Cosmos config — seed-for-seed identical
+// to the legacy trace generator — compiled once and replayed per
+// algorithm.
 func Fig9Cosmos(scale Scale) Report {
-	writes := 300
-	if scale == Full {
-		writes = 3000
+	cfg := scenario.Cosmos()
+	cfg.Writes = scaledWrites(cfg, scale)
+	stream, err := scenario.Compile(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: fig9: %v", err))
 	}
-	algos := []schedule.Algorithm{
-		schedule.Sequential, schedule.BinomialTree, schedule.BinomialPipeline,
+	algos, err := replayAlgorithms(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: fig9: %v", err))
 	}
-	results := make(map[schedule.Algorithm]cosmosResult, len(algos))
+	results := make(map[schedule.Algorithm]streamResult, len(algos))
 	for _, a := range algos {
-		results[a] = replayCosmos(a, writes)
+		results[a] = replayStream(cfg, stream, a)
 	}
 
 	r := Report{
 		ID:    "fig9",
-		Title: fmt.Sprintf("Cosmos replication-layer replay, %d writes (latency percentiles, ms)", writes),
+		Title: fmt.Sprintf("Cosmos replication-layer replay, %d writes (latency percentiles, ms)", cfg.Writes),
 		Paper: "binomial pipeline ≈2× faster than binomial tree and ≈3× faster than " +
 			"sequential send; ≈93 Gb/s replicated with binomial pipeline (≈1 PB/day)",
 		Columns: []string{"algorithm", "p10", "p25", "p50", "p75", "p90", "p99", "mean", "agg Gb/s"},
 	}
 	for _, a := range algos {
 		res := results[a]
-		sort.Float64s(res.latencies)
-		pct := func(p float64) string {
-			idx := int(p * float64(len(res.latencies)-1))
-			return ms(res.latencies[idx])
-		}
-		var sum float64
-		for _, l := range res.latencies {
-			sum += l
-		}
-		r.Rows = append(r.Rows, []string{
-			a.String(), pct(0.10), pct(0.25), pct(0.50), pct(0.75), pct(0.90), pct(0.99),
-			ms(sum / float64(len(res.latencies))),
-			f1(gbps(res.bytes, res.elapsed)),
-		})
+		cells, mean := latencyStats(res.latencies, []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99})
+		r.Rows = append(r.Rows, append(append([]string{a.String()}, cells...),
+			ms(mean), f1(gbps(res.bytes, res.elapsed))))
 	}
 	mean := func(a schedule.Algorithm) float64 {
 		var sum float64
@@ -104,103 +95,4 @@ func Fig9Cosmos(scale Scale) Report {
 			mean(schedule.BinomialTree)/mean(schedule.BinomialPipeline),
 			mean(schedule.Sequential)/mean(schedule.BinomialPipeline)))
 	return r
-}
-
-// replayCosmos replays the workload on a 16-node Fractus model: node 0
-// generates objects and each write replicates to 3 of the 15 replica hosts.
-// Up to 4 writes are outstanding at a time, keeping the generator NIC busy
-// as the paper's continuous replay does.
-func replayCosmos(algo schedule.Algorithm, writes int) cosmosResult {
-	const concurrency = 4
-	gen, err := trace.NewCosmos(trace.CosmosConfig{}, 42)
-	if err != nil {
-		panic(err)
-	}
-	d := deploy(Fractus(16), false)
-
-	// Pre-create every possible replica group, as the paper does, "so that
-	// this would be off the critical path".
-	type writeRec struct {
-		size      int
-		issuedAt  float64
-		remaining int
-		done      func(latency float64, size int)
-	}
-	groups := make(map[[3]int]*core.Group)          // root handles, keyed by triple
-	pendingOf := make(map[[3]int]map[int]*writeRec) // triple → seq → write
-	seqOf := make(map[[3]int]int)                   // next sequence per group
-	for _, triple := range gen.Groups() {
-		triple := triple
-		pendingOf[triple] = make(map[int]*writeRec)
-		membersList := []rdma.NodeID{0, rdma.NodeID(triple[0] + 1), rdma.NodeID(triple[1] + 1), rdma.NodeID(triple[2] + 1)}
-		id := d.nextID
-		d.nextID++
-		for _, m := range membersList {
-			cfg := core.GroupConfig{
-				BlockSize: mib,
-				Generator: schedule.New(algo),
-				Callbacks: core.Callbacks{
-					Completion: func(seq int, _ []byte, _ int) {
-						rec := pendingOf[triple][seq]
-						if rec == nil {
-							return
-						}
-						rec.remaining--
-						if rec.remaining == 0 {
-							delete(pendingOf[triple], seq)
-							rec.done(d.grid.Sim().Now()-rec.issuedAt, rec.size)
-						}
-					},
-				},
-			}
-			g, err := d.grid.Engine(int(m)).CreateGroup(id, membersList, cfg)
-			if err != nil {
-				panic(err)
-			}
-			if g.Rank() == 0 {
-				groups[triple] = g
-			}
-		}
-	}
-
-	// Replay with a bounded number of outstanding writes.
-	var (
-		res      cosmosResult
-		issued   int
-		complete int
-		issue    func()
-	)
-	issue = func() {
-		if issued >= writes {
-			return
-		}
-		w := gen.Next()
-		issued++
-		rec := &writeRec{
-			size:      w.Size,
-			issuedAt:  d.grid.Sim().Now(),
-			remaining: 4, // generator + 3 replicas complete locally
-			done: func(latency float64, size int) {
-				complete++
-				res.latencies = append(res.latencies, latency)
-				res.bytes += float64(size)
-				issue()
-			},
-		}
-		seq := seqOf[w.Group]
-		seqOf[w.Group] = seq + 1
-		pendingOf[w.Group][seq] = rec
-		if err := groups[w.Group].SendSized(w.Size); err != nil {
-			panic(err)
-		}
-	}
-	for i := 0; i < concurrency; i++ {
-		issue()
-	}
-	d.grid.Run()
-	if complete != writes {
-		panic(fmt.Sprintf("bench: cosmos replay completed %d of %d writes", complete, writes))
-	}
-	res.elapsed = d.grid.Sim().Now()
-	return res
 }

@@ -3,9 +3,9 @@ package bench
 import (
 	"fmt"
 
-	"rdmc/internal/core"
 	"rdmc/internal/rdma"
 	"rdmc/internal/rdma/simnic"
+	"rdmc/internal/scenario"
 	"rdmc/internal/schedule"
 	"rdmc/internal/simnet"
 	"rdmc/internal/smc"
@@ -116,20 +116,15 @@ func smcRun(n, size, count int) float64 {
 	return float64(count) / last
 }
 
-// rdmcSmallRun measures RDMC throughput on the same workload.
+// rdmcSmallRun measures RDMC throughput on the same workload, expressed as
+// the scenario.SmallMessages config: count writes burst onto one n-member
+// group, block size picked by the small/large regime.
 func rdmcSmallRun(n, size, count int) float64 {
-	d := deploy(Fractus(n), false)
-	block := 16 * kib
-	if size > block {
-		block = mib
+	cfg := scenario.SmallMessages(n, size, count)
+	stream, err := scenario.Compile(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: smc: %v", err))
 	}
-	g := d.group(members(n), core.GroupConfig{
-		BlockSize: block,
-		Generator: schedule.New(schedule.BinomialPipeline),
-	})
-	for m := 0; m < count; m++ {
-		g.send(size)
-	}
-	elapsed := run(d, g)
-	return float64(count) / elapsed
+	res := replayStream(cfg, stream, schedule.BinomialPipeline)
+	return float64(count) / res.lastDone
 }

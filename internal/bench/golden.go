@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"rdmc/internal/scenario"
+)
+
+// DefaultGoldenDir is where the golden datasets live, relative to the
+// repository root.
+const DefaultGoldenDir = "testdata/golden"
+
+// goldenExperiments are the scenario-backed experiments whose quick-scale
+// reports the golden harness pins. All four replay deterministic virtual-
+// time workloads, so their rendered rows are byte-stable across runs,
+// machines, and -race.
+var goldenExperiments = []string{"fig8", "fig9", "smc", "failover"}
+
+// goldenEntry is one pinned dataset: a file name under the golden
+// directory and the renderer that regenerates its contents.
+type goldenEntry struct {
+	File string
+	Run  func() string
+}
+
+// goldenEntries lists every pinned dataset: the scenario-backed
+// experiments at quick scale plus every shipped library scenario run
+// through the generic runner.
+func goldenEntries() []goldenEntry {
+	var out []goldenEntry
+	registry := Experiments()
+	for _, id := range goldenExperiments {
+		runner := registry[id]
+		out = append(out, goldenEntry{
+			File: "exp_" + id + ".txt",
+			Run:  func() string { return runner(Quick).String() },
+		})
+	}
+	lib := scenario.Library()
+	for _, name := range scenario.LibraryNames() {
+		cfg := lib[name]
+		out = append(out, goldenEntry{
+			File: "scenario_" + name + ".txt",
+			Run:  func() string { return RunScenario(cfg, Quick).String() },
+		})
+	}
+	return out
+}
+
+// renderGolden regenerates every golden dataset. Entries run concurrently —
+// each owns private simulations — and panics surface as rendered errors so
+// one broken entry doesn't tear down the batch.
+func renderGolden() map[string]string {
+	entries := goldenEntries()
+	out := make(map[string]string, len(entries))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, e := range entries {
+		e := e
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var text string
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						text = fmt.Sprintf("PANIC: %v\n", r)
+					}
+				}()
+				text = e.Run()
+			}()
+			mu.Lock()
+			out[e.File] = text
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// GoldenRecord regenerates every golden dataset and writes it under dir.
+func GoldenRecord(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("golden: %w", err)
+	}
+	rendered := renderGolden()
+	files := make([]string, 0, len(rendered))
+	for f := range rendered {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		text := rendered[f]
+		if strings.HasPrefix(text, "PANIC: ") {
+			return fmt.Errorf("golden: %s: %s", f, strings.TrimSpace(text))
+		}
+		if err := os.WriteFile(filepath.Join(dir, f), []byte(text), 0o644); err != nil {
+			return fmt.Errorf("golden: %w", err)
+		}
+		fmt.Printf("recorded %s (%d bytes)\n", filepath.Join(dir, f), len(text))
+	}
+	return nil
+}
+
+// GoldenCheck regenerates every golden dataset and compares it against the
+// recorded files under dir, reporting each mismatch. Any difference is an
+// error: either a regression broke determinism or an intentional change
+// needs `-golden record` to refresh the pins.
+func GoldenCheck(dir string) error {
+	rendered := renderGolden()
+	files := make([]string, 0, len(rendered))
+	for f := range rendered {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var bad []string
+	for _, f := range files {
+		text := rendered[f]
+		path := filepath.Join(dir, f)
+		want, err := os.ReadFile(path)
+		switch {
+		case err != nil:
+			bad = append(bad, fmt.Sprintf("%s: %v", path, err))
+		case strings.HasPrefix(text, "PANIC: "):
+			bad = append(bad, fmt.Sprintf("%s: %s", path, strings.TrimSpace(text)))
+		case string(want) != text:
+			bad = append(bad, fmt.Sprintf("%s: regenerated output differs (%s)", path, firstDiff(string(want), text)))
+		default:
+			fmt.Printf("ok %s\n", path)
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("golden: %d of %d datasets diverged:\n  %s\nrun `rdmcbench -golden record` if the change is intentional",
+			len(bad), len(files), strings.Join(bad, "\n  "))
+	}
+	return nil
+}
+
+// firstDiff locates the first line where two renderings diverge.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d: recorded %q, regenerated %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("recorded %d lines, regenerated %d", len(wl), len(gl))
+}

@@ -1,0 +1,369 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"rdmc/internal/chaos"
+	"rdmc/internal/core"
+	"rdmc/internal/rdma"
+	"rdmc/internal/scenario"
+	"rdmc/internal/schedule"
+	"rdmc/internal/simnet"
+)
+
+// preCreateLimit bounds how many groups a replay pre-creates from the
+// model's full enumeration (the paper pre-creates all 455 Cosmos groups
+// "off the critical path"). Beyond it, only the groups the stream actually
+// uses are created.
+const preCreateLimit = 4096
+
+// resolveCluster maps a scenario's cluster-model name to the paper testbed
+// models. An empty name selects Fractus.
+func resolveCluster(name string, nodes int) (simnet.ClusterConfig, error) {
+	switch name {
+	case "", "fractus":
+		return Fractus(nodes), nil
+	case "sierra":
+		return Sierra(nodes), nil
+	case "stampede":
+		return Stampede(nodes), nil
+	case "apt":
+		return Apt(nodes), nil
+	default:
+		return simnet.ClusterConfig{}, fmt.Errorf("bench: unknown cluster model %q", name)
+	}
+}
+
+// algorithmByName resolves a schedule algorithm from its String() name.
+func algorithmByName(name string) (schedule.Algorithm, error) {
+	for _, a := range schedule.Algorithms() {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("bench: unknown algorithm %q", name)
+}
+
+// replayAlgorithms resolves the scenario's algorithm list (default:
+// binomial pipeline only).
+func replayAlgorithms(cfg scenario.Config) ([]schedule.Algorithm, error) {
+	if len(cfg.Replay.Algorithms) == 0 {
+		return []schedule.Algorithm{schedule.BinomialPipeline}, nil
+	}
+	out := make([]schedule.Algorithm, len(cfg.Replay.Algorithms))
+	for i, name := range cfg.Replay.Algorithms {
+		a, err := algorithmByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// streamResult is one algorithm's replay outcome over a compiled stream.
+type streamResult struct {
+	// latencies holds per-write seconds in completion order; byTenant
+	// partitions them when the scenario mixes tenants.
+	latencies []float64
+	byTenant  map[string][]float64
+	bytes     float64
+	tenantB   map[string]float64
+	// elapsed is the virtual time when the simulation drained; lastDone is
+	// the virtual time of the final delivery.
+	elapsed  float64
+	lastDone float64
+}
+
+// scenarioGroups lists the groups a replay pre-creates, in a stable order:
+// the model enumeration when it fits under preCreateLimit (every possible
+// group, as the paper's Cosmos replay does), otherwise the distinct groups
+// the stream actually uses, in first-use order.
+func scenarioGroups(cfg scenario.Config, stream *scenario.Stream) [][]int {
+	var models []scenario.GroupConfig
+	if len(cfg.Tenants) == 0 {
+		models = append(models, cfg.Groups)
+	}
+	for _, t := range cfg.Tenants {
+		gc := cfg.Groups
+		if t.Groups != nil {
+			gc = *t.Groups
+		}
+		models = append(models, gc)
+	}
+	var out [][]int
+	seen := make(map[string]bool)
+	for _, m := range models {
+		sub := scenario.EnumerateGroups(m, preCreateLimit)
+		if sub == nil {
+			out = nil
+			break
+		}
+		for _, g := range sub {
+			key := fmt.Sprint(g)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, g)
+			}
+		}
+	}
+	if out != nil {
+		return out
+	}
+	// Fallback: only the groups the stream uses.
+	seen = make(map[string]bool)
+	for _, ev := range stream.Events {
+		key := fmt.Sprint(ev.Group)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, append([]int(nil), ev.Group...))
+		}
+	}
+	return out
+}
+
+// replayStream replays a compiled scenario stream with one schedule
+// algorithm on a fresh deployment: groups are pre-created (the model
+// enumeration when feasible), then events are issued by the scenario's
+// arrival process — closed-loop slots, paced timers, or Poisson timers —
+// with per-write delivery accounting in virtual time.
+func replayStream(cfg scenario.Config, stream *scenario.Stream, algo schedule.Algorithm) streamResult {
+	cluster, err := resolveCluster(cfg.Replay.Cluster, cfg.Nodes)
+	if err != nil {
+		panic(fmt.Sprintf("bench: scenario %s: %v", cfg.Name, err))
+	}
+	d := deploy(cluster, false)
+	blockBytes := cfg.Replay.BlockBytes
+	if blockBytes == 0 {
+		blockBytes = mib
+	}
+
+	type writeRec struct {
+		tenant    string
+		size      int
+		issuedAt  float64
+		remaining int
+	}
+	res := streamResult{byTenant: make(map[string][]float64), tenantB: make(map[string]float64)}
+	var (
+		roots     = make(map[string]*core.Group)
+		sizesOf   = make(map[string]int) // members per group
+		pendingOf = make(map[string]map[int]*writeRec)
+		seqOf     = make(map[string]int)
+		failures  int
+		complete  int
+		issue     func()
+	)
+	key := func(g []int) string { return fmt.Sprint(g) }
+
+	for _, set := range scenarioGroups(cfg, stream) {
+		set := set
+		gk := key(set)
+		pendingOf[gk] = make(map[int]*writeRec)
+		sizesOf[gk] = len(set)
+		members := make([]rdma.NodeID, len(set))
+		for i, m := range set {
+			members[i] = rdma.NodeID(m)
+		}
+		id := d.nextID
+		d.nextID++
+		for _, m := range members {
+			gc := core.GroupConfig{
+				BlockSize:  blockBytes,
+				Generator:  schedule.New(algo),
+				SendWindow: cfg.Replay.SendWindow,
+				RecvWindow: cfg.Replay.RecvWindow,
+				Callbacks: core.Callbacks{
+					Completion: func(seq int, _ []byte, _ int) {
+						rec := pendingOf[gk][seq]
+						if rec == nil {
+							return
+						}
+						rec.remaining--
+						if rec.remaining == 0 {
+							delete(pendingOf[gk], seq)
+							now := d.grid.Sim().Now()
+							latency := now - rec.issuedAt
+							res.latencies = append(res.latencies, latency)
+							res.byTenant[rec.tenant] = append(res.byTenant[rec.tenant], latency)
+							res.bytes += float64(rec.size)
+							res.tenantB[rec.tenant] += float64(rec.size)
+							if now > res.lastDone {
+								res.lastDone = now
+							}
+							complete++
+							if issue != nil {
+								issue()
+							}
+						}
+					},
+					Failure: func(error) { failures++ },
+				},
+			}
+			g, err := d.grid.Engine(int(m)).CreateGroup(id, members, gc)
+			if err != nil {
+				panic(fmt.Sprintf("bench: scenario %s: create group %v: %v", cfg.Name, set, err))
+			}
+			if g.Rank() == 0 {
+				roots[gk] = g
+			}
+		}
+	}
+
+	send := func(ev scenario.Event) {
+		gk := key(ev.Group)
+		root := roots[gk]
+		if root == nil {
+			panic(fmt.Sprintf("bench: scenario %s: no group for %v", cfg.Name, ev.Group))
+		}
+		seq := seqOf[gk]
+		seqOf[gk] = seq + 1
+		pendingOf[gk][seq] = &writeRec{
+			tenant:    ev.Tenant,
+			size:      ev.Size,
+			issuedAt:  d.grid.Sim().Now(),
+			remaining: sizesOf[gk],
+		}
+		if err := root.SendSized(ev.Size); err != nil {
+			panic(fmt.Sprintf("bench: scenario %s: send %d: %v", cfg.Name, ev.Seq, err))
+		}
+	}
+
+	if cfg.Arrival.Kind == scenario.ArrivalClosed {
+		issued := 0
+		issue = func() {
+			if issued >= len(stream.Events) {
+				return
+			}
+			ev := stream.Events[issued]
+			issued++
+			send(ev)
+		}
+		slots := stream.Concurrency()
+		if slots > len(stream.Events) {
+			slots = len(stream.Events)
+		}
+		for i := 0; i < slots; i++ {
+			issue()
+		}
+	} else {
+		for _, ev := range stream.Events {
+			ev := ev
+			d.grid.Sim().At(ev.At, func() { send(ev) })
+		}
+	}
+
+	d.grid.Run()
+	if failures > 0 {
+		panic(fmt.Sprintf("bench: scenario %s: %d group failures", cfg.Name, failures))
+	}
+	if complete != len(stream.Events) {
+		panic(fmt.Sprintf("bench: scenario %s: completed %d of %d writes", cfg.Name, complete, len(stream.Events)))
+	}
+	res.elapsed = d.grid.Sim().Now()
+	return res
+}
+
+// latencyStats renders the percentile cells the scenario and fig9 reports
+// share.
+func latencyStats(latencies []float64, percentiles []float64) (cells []string, mean float64) {
+	sorted := append([]float64(nil), latencies...)
+	sort.Float64s(sorted)
+	for _, p := range percentiles {
+		idx := int(p * float64(len(sorted)-1))
+		cells = append(cells, ms(sorted[idx]))
+	}
+	var sum float64
+	for _, l := range sorted {
+		sum += l
+	}
+	mean = sum / float64(len(sorted))
+	return cells, mean
+}
+
+// scaledWrites trims the stream length at quick scale when the config
+// advertises a quick cap.
+func scaledWrites(cfg scenario.Config, scale Scale) int {
+	if scale == Quick && cfg.Replay.QuickWrites > 0 && cfg.Replay.QuickWrites < cfg.Writes {
+		return cfg.Replay.QuickWrites
+	}
+	return cfg.Writes
+}
+
+// RunScenario replays an arbitrary scenario config and reports per-
+// algorithm (and per-tenant) latency percentiles plus aggregate
+// throughput. Configs with a failure schedule are delegated to the chaos
+// harness and report the session layer's recovery outcome instead. This is
+// what `rdmcbench -scenario <file.json>` runs: a new workload is a config
+// file, not a new experiment function.
+func RunScenario(cfg scenario.Config, scale Scale) Report {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	cfg.Writes = scaledWrites(cfg, scale)
+	if len(cfg.Faults) > 0 {
+		return runFaultScenario(cfg)
+	}
+
+	stream, err := scenario.Compile(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	algos, err := replayAlgorithms(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: scenario %s: %v", cfg.Name, err))
+	}
+
+	r := Report{
+		ID:    "scenario:" + cfg.Name,
+		Title: fmt.Sprintf("Scenario %s: %d writes, %s arrival, seed %d", cfg.Name, cfg.Writes, cfg.Arrival.Kind, cfg.Seed),
+		Columns: []string{
+			"algorithm", "tenant", "writes", "p50", "p90", "p99", "mean ms", "agg Gb/s",
+		},
+	}
+	for _, algo := range algos {
+		res := replayStream(cfg, stream, algo)
+		row := func(tenant string, lats []float64, bytes float64) {
+			cells, mean := latencyStats(lats, []float64{0.50, 0.90, 0.99})
+			label := tenant
+			if label == "" {
+				label = "all"
+			}
+			r.Rows = append(r.Rows, append(append([]string{
+				algo.String(), label, fmt.Sprintf("%d", len(lats)),
+			}, cells...), ms(mean), f1(gbps(bytes, res.elapsed))))
+		}
+		row("", res.latencies, res.bytes)
+		if len(cfg.Tenants) > 0 {
+			for _, t := range cfg.Tenants {
+				if lats := res.byTenant[t.Name]; len(lats) > 0 {
+					row(t.Name, lats, res.tenantB[t.Name])
+				}
+			}
+		}
+	}
+	if digest, err := stream.SHA256(); err == nil {
+		r.Notes = append(r.Notes, fmt.Sprintf("stream sha256 %s (%d events)", digest, len(stream.Events)))
+	}
+	return r
+}
+
+// runFaultScenario replays a fault-schedule scenario on the chaos harness
+// and reports the recovery outcome with the failover experiment's columns.
+func runFaultScenario(cfg scenario.Config) Report {
+	r := Report{
+		ID:    "scenario:" + cfg.Name,
+		Title: fmt.Sprintf("Scenario %s: %d-node session under a declarative fault schedule", cfg.Name, cfg.Nodes),
+		Paper: "§2: on failure the application layer re-issues the multicast; sessions bound what is re-sent",
+		Columns: []string{
+			"scenario", "nodes", "epoch", "recovery µs", "msgs re-sent", "bytes re-sent", "delivered", "baseline",
+		},
+	}
+	sc, err := chaos.FromConfig(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: scenario %s: %v", cfg.Name, err))
+	}
+	appendFailoverRow(&r, sc)
+	return r
+}

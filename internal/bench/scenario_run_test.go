@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"rdmc/internal/scenario"
+	"rdmc/internal/schedule"
+)
+
+// TestShippedScenariosDeterministic double-runs every shipped scenario
+// config end to end: the compiled event stream must be byte-identical and
+// the quick-scale experiment rows must render byte-identical. This is the
+// seed-determinism contract the golden harness depends on.
+func TestShippedScenariosDeterministic(t *testing.T) {
+	lib := scenario.Library()
+	for _, name := range scenario.LibraryNames() {
+		cfg := lib[name]
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			s1, err := scenario.Compile(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := scenario.Compile(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b1, err := s1.MarshalEvents()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := s2.MarshalEvents()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b1) != string(b2) {
+				t.Fatal("double-compiled event streams differ")
+			}
+			r1 := RunScenario(cfg, Quick).String()
+			r2 := RunScenario(cfg, Quick).String()
+			if r1 != r2 {
+				t.Errorf("double-run reports differ:\nfirst:\n%s\nsecond:\n%s", r1, r2)
+			}
+		})
+	}
+}
+
+// TestRunScenarioCosmosMatchesFig9 pins the re-expression: the canned
+// cosmos scenario through the generic runner reproduces Figure 9's
+// latency distribution (same stream, same replayer, different report
+// shape — the shared cells must agree).
+func TestRunScenarioCosmosMatchesFig9(t *testing.T) {
+	cfg := scenario.Cosmos()
+	cfg.Writes = scaledWrites(cfg, Quick)
+	stream, err := scenario.Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := replayStream(cfg, stream, schedule.BinomialPipeline)
+
+	rep := RunScenario(scenario.Cosmos(), Quick)
+	var row []string
+	for _, r := range rep.Rows {
+		if r[0] == "binomial pipeline" && r[1] == "all" {
+			row = r
+		}
+	}
+	if row == nil {
+		t.Fatalf("no binomial pipeline row in %v", rep.Rows)
+	}
+	cells, _ := latencyStats(direct.latencies, []float64{0.50, 0.90, 0.99})
+	for i, want := range cells {
+		if got := row[3+i]; got != want {
+			t.Errorf("cell %d: scenario runner %s, direct replay %s", i, got, want)
+		}
+	}
+	if got, want := row[len(row)-1], f1(gbps(direct.bytes, direct.elapsed)); got != want {
+		t.Errorf("throughput: scenario runner %s, direct replay %s", got, want)
+	}
+}
+
+// TestRunScenarioFaultPath routes a fault-schedule config through the
+// chaos harness and checks a recovery row comes back.
+func TestRunScenarioFaultPath(t *testing.T) {
+	rep := RunScenario(scenario.FailoverCrashRoot(4, 2), Quick)
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %v, want one recovery row", rep.Rows)
+	}
+	if rep.Rows[0][0] != "crash-root" || rep.Rows[0][1] != "4" {
+		t.Errorf("row = %v", rep.Rows[0])
+	}
+	if !strings.HasPrefix(rep.Rows[0][len(rep.Rows[0])-1], "short ") {
+		t.Errorf("baseline cell = %q, want a shortfall", rep.Rows[0][len(rep.Rows[0])-1])
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"rdmc/internal/core"
 	"rdmc/internal/rdma"
+	"rdmc/internal/scenario"
 	"rdmc/internal/session"
 	"rdmc/internal/simhost"
 	"rdmc/internal/simnet"
@@ -106,11 +107,8 @@ type Result struct {
 }
 
 const (
-	defaultMessages = 10
-	defaultMsgBytes = 16384
-	defaultBlock    = 4096
-	defaultEpilogue = 2
-	epilogueTag     = 0xE0
+	defaultBlock = 4096
+	epilogueTag  = 0xE0
 
 	// partitionDetectFrac is the heartbeat-timeout lag, as a fraction of
 	// the baseline runtime, between a partition cut and the moment each
@@ -118,22 +116,16 @@ const (
 	partitionDetectFrac = 0.1
 )
 
-// CrashRelay crashes a mid-tree relay at 50% of the transfer.
+// CrashRelay crashes a mid-tree relay at 50% of the transfer. The canned
+// schedules are declarative scenario configs compiled through FromConfig —
+// the scenario engine owns the fault vocabulary; this package executes it.
 func CrashRelay(n int, seed int64) Scenario {
-	return Scenario{
-		Name: "crash-relay", Nodes: n, Seed: seed,
-		Messages: defaultMessages, MsgBytes: defaultMsgBytes, BlockBytes: defaultBlock, Epilogue: defaultEpilogue,
-		Faults: []Fault{{Kind: FaultCrash, At: 0.5, Node: n / 2}},
-	}
+	return mustFromConfig(scenario.FailoverCrashRelay(n, seed))
 }
 
 // CrashRoot crashes the sender at 50% of the transfer.
 func CrashRoot(n int, seed int64) Scenario {
-	return Scenario{
-		Name: "crash-root", Nodes: n, Seed: seed,
-		Messages: defaultMessages, MsgBytes: defaultMsgBytes, BlockBytes: defaultBlock, Epilogue: defaultEpilogue,
-		Faults: []Fault{{Kind: FaultCrash, At: 0.5, Node: 0}},
-	}
+	return mustFromConfig(scenario.FailoverCrashRoot(n, seed))
 }
 
 // Partition cuts the last rack (a quarter of the cluster) off at 50% of
@@ -141,16 +133,17 @@ func CrashRoot(n int, seed int64) Scenario {
 // links admit fresh connections, but the wedged minority stays parked on
 // its epoch-1 prefix — the documented no-rejoin limitation.
 func Partition(n int, seed int64) Scenario {
-	return Scenario{
-		Name: "partition", Nodes: n, Seed: seed,
-		Messages: defaultMessages, MsgBytes: defaultMsgBytes, BlockBytes: defaultBlock, Epilogue: defaultEpilogue,
-		Faults: []Fault{{Kind: FaultPartition, At: 0.5, Size: rackSize(n), HealAfter: 1.0}},
-	}
+	return mustFromConfig(scenario.FailoverPartition(n, seed))
 }
 
 // Scenarios returns the standard suite for one cluster size.
 func Scenarios(n int, seed int64) []Scenario {
-	return []Scenario{CrashRelay(n, seed), CrashRoot(n, seed+1), Partition(n, seed+2)}
+	suite := scenario.FailoverSuite(n, seed)
+	out := make([]Scenario, len(suite))
+	for i, cfg := range suite {
+		out[i] = mustFromConfig(cfg)
+	}
+	return out
 }
 
 func rackSize(n int) int {

@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"fmt"
+
+	"rdmc/internal/scenario"
+)
+
+// FromConfig compiles a declarative scenario config into a runnable chaos
+// Scenario. The chaos harness drives a single all-node session with a
+// calibrated paced workload, so the config must describe exactly that
+// shape: fixed-size writes, a full-roster group, paced arrivals, and at
+// least one fault. The scenario's pacing interval is ignored — the harness
+// calibrates spacing from a fault-free rehearsal so fault fractions land
+// at the same virtual instant on every run.
+func FromConfig(cfg scenario.Config) (Scenario, error) {
+	if err := cfg.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("chaos: %w", err)
+	}
+	if len(cfg.Faults) == 0 {
+		return Scenario{}, fmt.Errorf("chaos: scenario %s has no fault schedule", cfg.Name)
+	}
+	if cfg.Sizes.Kind != scenario.SizeFixed {
+		return Scenario{}, fmt.Errorf("chaos: scenario %s: session workload needs fixed sizes, got %s", cfg.Name, cfg.Sizes.Kind)
+	}
+	if cfg.Arrival.Kind != scenario.ArrivalPaced {
+		return Scenario{}, fmt.Errorf("chaos: scenario %s: session workload needs paced arrivals, got %s", cfg.Name, cfg.Arrival.Kind)
+	}
+	if cfg.Groups.Kind != scenario.GroupRoster || len(cfg.Groups.Members) != cfg.Nodes {
+		return Scenario{}, fmt.Errorf("chaos: scenario %s: session spans the full roster of %d nodes", cfg.Name, cfg.Nodes)
+	}
+	for i, m := range cfg.Groups.Members {
+		if m != i {
+			return Scenario{}, fmt.Errorf("chaos: scenario %s: session roster must be [0..%d), got %v", cfg.Name, cfg.Nodes, cfg.Groups.Members)
+		}
+	}
+	block := cfg.Replay.BlockBytes
+	if block == 0 {
+		block = defaultBlock
+	}
+	faults := make([]Fault, len(cfg.Faults))
+	for i, f := range cfg.Faults {
+		switch f.Kind {
+		case scenario.FaultCrash:
+			faults[i] = Fault{Kind: FaultCrash, At: f.AtFraction, Node: f.Node}
+		case scenario.FaultPartition:
+			faults[i] = Fault{
+				Kind: FaultPartition, At: f.AtFraction,
+				Size: f.RackSize, HealAfter: f.HealAfterFraction,
+			}
+		default:
+			return Scenario{}, fmt.Errorf("chaos: scenario %s: unknown fault kind %q", cfg.Name, f.Kind)
+		}
+	}
+	return Scenario{
+		Name:       cfg.Name,
+		Nodes:      cfg.Nodes,
+		Messages:   cfg.Writes,
+		MsgBytes:   cfg.Sizes.Bytes,
+		BlockBytes: block,
+		Epilogue:   cfg.Epilogue,
+		Seed:       cfg.Seed,
+		Faults:     faults,
+	}, nil
+}
+
+// mustFromConfig compiles a library-built config; the canned constructors
+// are valid by construction.
+func mustFromConfig(cfg scenario.Config) Scenario {
+	sc, err := FromConfig(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}

@@ -1,0 +1,233 @@
+package scenario
+
+import "fmt"
+
+// Canonical byte sizes used by the canned configs.
+const (
+	kib = 1 << 10
+	mib = 1 << 20
+)
+
+// Chaos-calibrated defaults shared by the failover scenarios (the values
+// internal/chaos has always used).
+const (
+	failoverMessages = 10
+	failoverMsgBytes = 16 * kib
+	failoverBlock    = 4 * kib
+	failoverEpilogue = 2
+)
+
+// Roster returns the fixed member list [0, 1, ..., n-1].
+func Roster(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Cosmos is the legacy trace generator as a scenario config: node 0
+// replicates log-normally sized objects (median 12 MiB, mean 29 MiB) to 3
+// random replicas out of a 15-node pool, 4 writes outstanding — the
+// paper's Figure 9 workload, seed-for-seed identical to trace.Cosmos.
+func Cosmos() Config {
+	return Config{
+		Name:    "cosmos",
+		Seed:    42,
+		Nodes:   16,
+		Writes:  3000,
+		Arrival: Arrival{Kind: ArrivalClosed, Concurrency: 4},
+		Sizes:   SizeConfig{Kind: SizeLognormal, MedianBytes: 12 * mib, MeanBytes: 29 * mib},
+		Groups:  GroupConfig{Kind: GroupKofN, K: 3, N: 15, Base: 1, Root: []int{0}},
+		Replay: Replay{
+			Cluster:     "fractus",
+			BlockBytes:  mib,
+			Algorithms:  []string{"sequential send", "binomial tree", "binomial pipeline"},
+			QuickWrites: 300,
+		},
+	}
+}
+
+// Fig8 is Figure 8's workload at one sweep point: a single 256 MB object
+// replicated to all n nodes on the Sierra model, sequential send versus
+// binomial pipeline.
+func Fig8(n int) Config {
+	return Config{
+		Name:    fmt.Sprintf("fig8-%d", n),
+		Seed:    1,
+		Nodes:   n,
+		Writes:  1,
+		Arrival: Arrival{Kind: ArrivalClosed, Concurrency: 1},
+		Sizes:   SizeConfig{Kind: SizeFixed, Bytes: 256 * mib},
+		Groups:  GroupConfig{Kind: GroupRoster, Members: Roster(n)},
+		Replay: Replay{
+			Cluster:    "sierra",
+			BlockBytes: mib,
+			Algorithms: []string{"sequential send", "binomial pipeline"},
+			SendWindow: 1,
+			RecvWindow: 1,
+		},
+	}
+}
+
+// SmallMessages is the §4.6 RDMC side of the SMC comparison: count
+// messages of size bytes burst onto one n-member group on Fractus.
+func SmallMessages(n, size, count int) Config {
+	block := 16 * kib
+	if size > block {
+		block = mib
+	}
+	return Config{
+		Name:    fmt.Sprintf("smc-%d-%d", n, size),
+		Seed:    1,
+		Nodes:   n,
+		Writes:  count,
+		Arrival: Arrival{Kind: ArrivalClosed, Concurrency: count},
+		Sizes:   SizeConfig{Kind: SizeFixed, Bytes: size},
+		Groups:  GroupConfig{Kind: GroupRoster, Members: Roster(n)},
+		Replay: Replay{
+			Cluster:    "fractus",
+			BlockBytes: block,
+			Algorithms: []string{"binomial pipeline"},
+			SendWindow: 1,
+			RecvWindow: 1,
+		},
+	}
+}
+
+// failover is the chaos harness's paced 10-message session workload with a
+// declarative fault schedule. A zero paced spacing means "calibrate from a
+// fault-free rehearsal", exactly as the chaos scenarios always have.
+func failover(name string, n int, seed int64, faults []Fault) Config {
+	return Config{
+		Name:     name,
+		Seed:     seed,
+		Nodes:    n,
+		Writes:   failoverMessages,
+		Arrival:  Arrival{Kind: ArrivalPaced},
+		Sizes:    SizeConfig{Kind: SizeFixed, Bytes: failoverMsgBytes},
+		Groups:   GroupConfig{Kind: GroupRoster, Members: Roster(n)},
+		Faults:   faults,
+		Epilogue: failoverEpilogue,
+		Replay:   Replay{BlockBytes: failoverBlock},
+	}
+}
+
+// FailoverCrashRelay crashes a mid-tree relay at 50% of the transfer.
+func FailoverCrashRelay(n int, seed int64) Config {
+	return failover("crash-relay", n, seed,
+		[]Fault{{Kind: FaultCrash, AtFraction: 0.5, Node: n / 2}})
+}
+
+// FailoverCrashRoot crashes the sender at 50% of the transfer.
+func FailoverCrashRoot(n int, seed int64) Config {
+	return failover("crash-root", n, seed,
+		[]Fault{{Kind: FaultCrash, AtFraction: 0.5, Node: 0}})
+}
+
+// FailoverPartition cuts the last rack off at 50% of the transfer and
+// heals the links one baseline-runtime later.
+func FailoverPartition(n int, seed int64) Config {
+	rack := 1
+	if n >= 4 {
+		rack = n / 4
+	}
+	return failover("partition", n, seed,
+		[]Fault{{Kind: FaultPartition, AtFraction: 0.5, RackSize: rack, HealAfterFraction: 1.0}})
+}
+
+// FailoverSuite is the standard chaos suite for one cluster size — the
+// same three schedules internal/chaos has always run, as declarative
+// configs.
+func FailoverSuite(n int, seed int64) []Config {
+	return []Config{
+		FailoverCrashRelay(n, seed),
+		FailoverCrashRoot(n, seed+1),
+		FailoverPartition(n, seed+2),
+	}
+}
+
+// MixedTenants is a workload no single paper figure covers: a bulk
+// replication tenant (log-normal multi-MB objects to 3 random replicas)
+// sharing the fabric with a chatty metadata tenant (16 KiB writes to 2
+// random replicas, 3× the arrival share), driven by an open Poisson
+// process.
+func MixedTenants() Config {
+	return Config{
+		Name:    "mixed-tenants",
+		Seed:    7,
+		Nodes:   16,
+		Writes:  200,
+		Arrival: Arrival{Kind: ArrivalPoisson, RatePerSec: 2000},
+		Sizes:   SizeConfig{Kind: SizeLognormal, MedianBytes: 4 * mib, MeanBytes: 8 * mib},
+		Groups:  GroupConfig{Kind: GroupKofN, K: 3, N: 15, Base: 1, Root: []int{0}},
+		Tenants: []Tenant{
+			{Name: "bulk", Weight: 1},
+			{
+				Name:   "meta",
+				Weight: 3,
+				Sizes:  &SizeConfig{Kind: SizeFixed, Bytes: 16 * kib},
+				Groups: &GroupConfig{Kind: GroupKofN, K: 2, N: 15, Base: 1, Root: []int{0}},
+			},
+		},
+		Replay: Replay{
+			Cluster:     "fractus",
+			BlockBytes:  64 * kib,
+			Algorithms:  []string{"binomial pipeline"},
+			QuickWrites: 120,
+		},
+	}
+}
+
+// Churn is a membership-churn schedule: a 5-node roster hands off to an
+// overlapping replacement roster mid-run, then degenerates into random
+// 3-of-8 groups — paced arrivals so the handoff lands at a fixed virtual
+// time.
+func Churn() Config {
+	return Config{
+		Name:    "churn",
+		Seed:    11,
+		Nodes:   8,
+		Writes:  60,
+		Arrival: Arrival{Kind: ArrivalPaced, SpacingSec: 200e-6},
+		Sizes:   SizeConfig{Kind: SizeFixed, Bytes: 64 * kib},
+		Groups: GroupConfig{
+			Kind: GroupChurn,
+			Phases: []GroupPhase{
+				{Writes: 20, Model: GroupConfig{Kind: GroupRoster, Members: []int{0, 1, 2, 3, 4}}},
+				{Writes: 20, Model: GroupConfig{Kind: GroupRoster, Members: []int{0, 1, 5, 6, 7}}},
+				{Model: GroupConfig{Kind: GroupKofN, K: 3, N: 7, Base: 1, Root: []int{0}}},
+			},
+		},
+		Replay: Replay{
+			Cluster:    "fractus",
+			BlockBytes: 16 * kib,
+			Algorithms: []string{"binomial pipeline"},
+		},
+	}
+}
+
+// LibraryNames lists the shipped scenario configs in presentation order.
+func LibraryNames() []string {
+	return []string{"cosmos", "fig8", "smc", "failover-crash-root", "mixed-tenants", "churn"}
+}
+
+// Library returns the shipped scenario configs by name — the set the
+// scenarios/ directory mirrors, the determinism tests double-run, and the
+// golden harness pins.
+func Library() map[string]Config {
+	fig8 := Fig8(32)
+	fig8.Name = "fig8"
+	smc := SmallMessages(16, 10*kib, 120)
+	smc.Name = "smc"
+	fo := FailoverCrashRoot(8, 2)
+	fo.Name = "failover-crash-root"
+	return map[string]Config{
+		"cosmos":              Cosmos(),
+		"fig8":                fig8,
+		"smc":                 smc,
+		"failover-crash-root": fo,
+		"mixed-tenants":       MixedTenants(),
+		"churn":               Churn(),
+	}
+}

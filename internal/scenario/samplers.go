@@ -1,0 +1,342 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Trace-calibrated clamp defaults for log-normal draws ("hundreds of bytes
+// to hundreds of MB").
+const (
+	DefaultMinBytes = 256
+	DefaultMaxBytes = 512 << 20
+)
+
+// SizeSampler draws object sizes from a configured distribution. Samplers
+// are deterministic functions of the supplied rng: one draw consumes a
+// fixed number of rng values, so streams replay byte-identically.
+type SizeSampler interface {
+	Sample(rng *rand.Rand) int
+}
+
+// NewSizeSampler builds the sampler for a size config.
+func NewSizeSampler(cfg SizeConfig) (SizeSampler, error) {
+	switch cfg.Kind {
+	case SizeFixed:
+		if cfg.Bytes <= 0 {
+			return nil, fmt.Errorf("scenario: fixed size must be positive, got %d", cfg.Bytes)
+		}
+		return fixedSize(cfg.Bytes), nil
+	case SizeLognormal:
+		if cfg.MedianBytes <= 0 || cfg.MeanBytes <= cfg.MedianBytes {
+			return nil, fmt.Errorf("scenario: log-normal needs 0 < median (%g) < mean (%g)",
+				cfg.MedianBytes, cfg.MeanBytes)
+		}
+		min, max := cfg.MinBytes, cfg.MaxBytes
+		if min == 0 {
+			min = DefaultMinBytes
+		}
+		if max == 0 {
+			max = DefaultMaxBytes
+		}
+		if min > max {
+			return nil, fmt.Errorf("scenario: size clamp [%d,%d] inverted", min, max)
+		}
+		// For a log-normal, median = e^µ and mean = e^(µ+σ²/2).
+		return &lognormalSize{
+			mu:    math.Log(cfg.MedianBytes),
+			sigma: math.Sqrt(2 * math.Log(cfg.MeanBytes/cfg.MedianBytes)),
+			min:   min,
+			max:   max,
+		}, nil
+	case SizeBuckets:
+		if len(cfg.Buckets) == 0 {
+			return nil, fmt.Errorf("scenario: bucket distribution has no buckets")
+		}
+		s := &bucketSize{buckets: cfg.Buckets}
+		for _, b := range cfg.Buckets {
+			if b.Bytes <= 0 || b.Weight <= 0 {
+				return nil, fmt.Errorf("scenario: bucket {%d bytes, weight %g} must be positive", b.Bytes, b.Weight)
+			}
+			s.total += b.Weight
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown size kind %q", cfg.Kind)
+	}
+}
+
+type fixedSize int
+
+func (f fixedSize) Sample(*rand.Rand) int { return int(f) }
+
+type lognormalSize struct {
+	mu, sigma float64
+	min, max  int
+}
+
+func (l *lognormalSize) Sample(rng *rand.Rand) int {
+	size := int(math.Exp(l.mu + l.sigma*rng.NormFloat64()))
+	if size < l.min {
+		size = l.min
+	}
+	if size > l.max {
+		size = l.max
+	}
+	return size
+}
+
+type bucketSize struct {
+	buckets []SizeBucket
+	total   float64
+}
+
+func (b *bucketSize) Sample(rng *rand.Rand) int {
+	x := rng.Float64() * b.total
+	for _, bk := range b.buckets {
+		if x -= bk.Weight; x < 0 {
+			return bk.Bytes
+		}
+	}
+	return b.buckets[len(b.buckets)-1].Bytes
+}
+
+// GroupSampler draws sorted member groups. Sample appends the group to
+// buf[:0] and returns it, so a caller reusing one buffer draws without
+// allocating.
+type GroupSampler interface {
+	Sample(rng *rand.Rand, buf []int) []int
+	// K returns the (maximum) group size a draw produces.
+	K() int
+}
+
+// NewGroupSampler builds the sampler for a group config. Churn samplers are
+// stateful (they advance through phases by draw count), so build a fresh
+// one per stream.
+func NewGroupSampler(cfg GroupConfig) (GroupSampler, error) {
+	switch cfg.Kind {
+	case GroupRoster:
+		if len(cfg.Members) == 0 {
+			return nil, fmt.Errorf("scenario: roster has no members")
+		}
+		seen := make(map[int]bool, len(cfg.Members))
+		for _, m := range cfg.Members {
+			if seen[m] {
+				return nil, fmt.Errorf("scenario: roster repeats member %d", m)
+			}
+			seen[m] = true
+		}
+		return rosterGroup(cfg.Members), nil
+	case GroupKofN:
+		if cfg.K <= 0 || cfg.K > cfg.N {
+			return nil, fmt.Errorf("scenario: kofn needs 0 < k (%d) <= n (%d)", cfg.K, cfg.N)
+		}
+		s := &kofnGroup{k: cfg.K, n: cfg.N, base: cfg.Base, root: cfg.Root, idx: make([]int, cfg.N)}
+		for i := range s.idx {
+			s.idx[i] = i
+		}
+		return s, nil
+	case GroupChurn:
+		if len(cfg.Phases) == 0 {
+			return nil, fmt.Errorf("scenario: churn schedule has no phases")
+		}
+		c := &churnGroup{}
+		for i, p := range cfg.Phases {
+			if p.Writes < 0 {
+				return nil, fmt.Errorf("scenario: churn phase %d has negative writes", i)
+			}
+			if p.Writes == 0 && i != len(cfg.Phases)-1 {
+				return nil, fmt.Errorf("scenario: churn phase %d has zero writes but is not last", i)
+			}
+			sub, err := NewGroupSampler(p.Model)
+			if err != nil {
+				return nil, fmt.Errorf("churn phase %d: %w", i, err)
+			}
+			c.phases = append(c.phases, churnPhase{writes: p.Writes, sampler: sub})
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown group kind %q", cfg.Kind)
+	}
+}
+
+type rosterGroup []int
+
+func (r rosterGroup) Sample(_ *rand.Rand, buf []int) []int { return append(buf[:0], r...) }
+
+func (r rosterGroup) K() int { return len(r) }
+
+// kofnGroup draws k distinct pool indices by partial Fisher–Yates: k swaps
+// over a persistent index array, consuming exactly k rng draws per sample
+// and allocating nothing. The drawn indices are sorted, mapped through
+// base, and prefixed with the fixed roots.
+type kofnGroup struct {
+	k, n, base int
+	root       []int
+	idx        []int
+}
+
+func (s *kofnGroup) Sample(rng *rand.Rand, buf []int) []int {
+	need := len(s.root) + s.k
+	if cap(buf) < need {
+		buf = make([]int, need)
+	}
+	buf = buf[:need]
+	copy(buf, s.root)
+	members := buf[len(s.root):]
+	for i := 0; i < s.k; i++ {
+		j := i + rng.Intn(s.n-i)
+		s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+		members[i] = s.idx[i]
+	}
+	sort.Ints(members)
+	if s.base != 0 {
+		for i := range members {
+			members[i] += s.base
+		}
+	}
+	return buf
+}
+
+func (s *kofnGroup) K() int { return len(s.root) + s.k }
+
+type churnPhase struct {
+	writes  int
+	sampler GroupSampler
+}
+
+type churnGroup struct {
+	phases []churnPhase
+	phase  int
+	drawn  int
+}
+
+func (c *churnGroup) Sample(rng *rand.Rand, buf []int) []int {
+	for c.phase < len(c.phases)-1 {
+		p := c.phases[c.phase]
+		if p.writes == 0 || c.drawn < p.writes {
+			break
+		}
+		c.phase++
+		c.drawn = 0
+	}
+	c.drawn++
+	return c.phases[c.phase].sampler.Sample(rng, buf)
+}
+
+func (c *churnGroup) K() int {
+	k := 0
+	for _, p := range c.phases {
+		if pk := p.sampler.K(); pk > k {
+			k = pk
+		}
+	}
+	return k
+}
+
+// EnumerateGroups lists every distinct group the model can produce, in a
+// stable order: the fixed roster, the lexicographic k-of-n combinations
+// (the Cosmos replay pre-creates all of them, "off the critical path" as
+// the paper does), or the concatenated, deduplicated phase enumerations.
+// It returns nil when the model space exceeds limit — the replayer then
+// falls back to creating only the groups the stream actually uses.
+func EnumerateGroups(cfg GroupConfig, limit int) [][]int {
+	switch cfg.Kind {
+	case GroupRoster:
+		return [][]int{append([]int(nil), cfg.Members...)}
+	case GroupKofN:
+		if Binomial(cfg.N, cfg.K) > limit {
+			return nil
+		}
+		var out [][]int
+		comb := make([]int, cfg.K)
+		for i := range comb {
+			comb[i] = i
+		}
+		for {
+			g := append([]int(nil), cfg.Root...)
+			for _, v := range comb {
+				g = append(g, v+cfg.Base)
+			}
+			out = append(out, g)
+			// Advance to the next lexicographic combination.
+			i := cfg.K - 1
+			for i >= 0 && comb[i] == cfg.N-cfg.K+i {
+				i--
+			}
+			if i < 0 {
+				return out
+			}
+			comb[i]++
+			for j := i + 1; j < cfg.K; j++ {
+				comb[j] = comb[j-1] + 1
+			}
+		}
+	case GroupChurn:
+		var out [][]int
+		seen := make(map[string]bool)
+		for _, p := range cfg.Phases {
+			sub := EnumerateGroups(p.Model, limit)
+			if sub == nil {
+				return nil
+			}
+			for _, g := range sub {
+				key := fmt.Sprint(g)
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, g)
+				}
+			}
+			if len(out) > limit {
+				return nil
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// Binomial returns C(n, k), saturating at math.MaxInt on overflow.
+func Binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1
+	for i := 1; i <= k; i++ {
+		if out > math.MaxInt/(n-k+i) {
+			return math.MaxInt
+		}
+		out = out * (n - k + i) / i
+	}
+	return out
+}
+
+// CombinationRank returns the zero-based lexicographic rank of the sorted
+// k-subset g of [0, n) — the closed-form inverse of the enumeration order
+// EnumerateGroups produces. Each position contributes a hockey-stick sum
+// of the combinations skipped below it:
+//
+//	rank += C(n-prev-1, k-i) - C(n-g[i], k-i)
+//
+// so the whole rank costs O(k) binomials instead of an O(C(n,k)) scan. It
+// returns -1 for anything that is not a strictly increasing subset of
+// [0, n).
+func CombinationRank(g []int, n int) int {
+	k := len(g)
+	rank := 0
+	prev := -1
+	for i, v := range g {
+		if v <= prev || v >= n {
+			return -1
+		}
+		rank += Binomial(n-prev-1, k-i) - Binomial(n-v, k-i)
+		prev = v
+	}
+	return rank
+}

@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var updateShipped = flag.Bool("update-scenarios", false,
+	"rewrite the shipped scenarios/ directory from the library")
+
+// shippedDir is the repository's scenarios/ directory, relative to this
+// package.
+const shippedDir = "../../scenarios"
+
+// TestShippedConfigsMatchLibrary pins the scenarios/ directory to the
+// library: every shipped JSON file is byte-for-byte the Marshal of its
+// library config and loads back to the identical value. Regenerate with
+// `go test ./internal/scenario -update-scenarios` after changing the
+// library.
+func TestShippedConfigsMatchLibrary(t *testing.T) {
+	lib := Library()
+	if *updateShipped {
+		if err := os.MkdirAll(shippedDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range LibraryNames() {
+		cfg, ok := lib[name]
+		if !ok {
+			t.Fatalf("library has no config %q", name)
+		}
+		want, err := cfg.Marshal()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		path := filepath.Join(shippedDir, name+".json")
+		if *updateShipped {
+			if err := os.WriteFile(path, want, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v — run `go test ./internal/scenario -update-scenarios`", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: shipped file differs from the library config — run `go test ./internal/scenario -update-scenarios`", path)
+		}
+		loaded, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", path, err)
+		}
+		if !reflect.DeepEqual(loaded, cfg) {
+			t.Errorf("%s: loaded config differs from the library value", path)
+		}
+	}
+}

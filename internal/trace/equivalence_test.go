@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"testing"
+
+	"rdmc/internal/scenario"
+)
+
+// TestScenarioCosmosMatchesTrace pins the tentpole equivalence: the canned
+// scenario.Cosmos() config compiles to the seed-for-seed identical stream
+// this package's generator draws. Scenario events carry node ids (the
+// generator node 0 plus pool index + 1); the raw trace carries pool
+// indices — the mapping is the Base/Root translation and nothing else.
+func TestScenarioCosmosMatchesTrace(t *testing.T) {
+	cfg := scenario.Cosmos()
+	gen, err := NewCosmos(CosmosConfig{}, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := scenario.Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []int
+	for _, ev := range stream.Events {
+		w := gen.NextInto(buf)
+		buf = w.Group
+		if ev.Size != w.Size {
+			t.Fatalf("event %d: size %d, trace drew %d", ev.Seq, ev.Size, w.Size)
+		}
+		if len(ev.Group) != len(w.Group)+1 || ev.Group[0] != 0 {
+			t.Fatalf("event %d: group %v, trace drew %v", ev.Seq, ev.Group, w.Group)
+		}
+		for j, m := range w.Group {
+			if ev.Group[j+1] != m+1 {
+				t.Fatalf("event %d: group %v, trace drew %v", ev.Seq, ev.Group, w.Group)
+			}
+		}
+	}
+}

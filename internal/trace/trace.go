@@ -15,22 +15,28 @@
 //
 // The substitution preserves what Figure 9 actually measures: the latency
 // distribution of concurrent, size-skewed, group-overlapping replication.
+//
+// The generator is one canned instance of the scenario engine: its size and
+// group draws are internal/scenario samplers, so scenario.Cosmos() compiles
+// to the seed-for-seed identical stream (pinned by test). New workloads
+// should be scenario configs; this package remains the paper-calibrated
+// default and the k-of-n sampling it popularized.
 package trace
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
-	"sort"
+
+	"rdmc/internal/scenario"
 )
 
 // Write is one replication operation: an object of Size bytes copied to the
-// member nodes of Group (indices into the replica pool).
+// member nodes of Group (sorted indices into the replica pool).
 type Write struct {
 	// Size is the object size in bytes.
 	Size int
-	// Group is the sorted target-node triple.
-	Group [3]int
+	// Group is the sorted target-node set, Replicas long.
+	Group []int
 }
 
 // CosmosConfig parameterizes the generator. The zero value of each field
@@ -38,7 +44,9 @@ type Write struct {
 type CosmosConfig struct {
 	// Pool is the number of replica nodes; zero selects 15.
 	Pool int
-	// Replicas is the targets per write; zero selects 3.
+	// Replicas is the targets per write; zero selects 3 (the paper's
+	// value). Any 1 ≤ Replicas ≤ Pool is accepted, so the scenario engine
+	// can express k-of-n groups.
 	Replicas int
 	// MedianBytes and MeanBytes shape the log-normal size distribution;
 	// zero selects 12 MiB and 29 MiB.
@@ -73,79 +81,81 @@ func (c CosmosConfig) withDefaults() CosmosConfig {
 
 // Cosmos is a deterministic generator of Cosmos-like writes.
 type Cosmos struct {
-	cfg   CosmosConfig
-	rng   *rand.Rand
-	mu    float64
-	sigma float64
+	cfg    CosmosConfig
+	rng    *rand.Rand
+	sizes  scenario.SizeSampler
+	groups scenario.GroupSampler
 }
 
 // NewCosmos builds a generator with the given seed.
 func NewCosmos(cfg CosmosConfig, seed int64) (*Cosmos, error) {
 	cfg = cfg.withDefaults()
 	switch {
-	case cfg.Replicas != 3:
-		return nil, fmt.Errorf("trace: writes are 3-node in the paper; got %d replicas", cfg.Replicas)
+	case cfg.Replicas < 1:
+		return nil, fmt.Errorf("trace: replica count %d must be positive", cfg.Replicas)
 	case cfg.Pool < cfg.Replicas:
 		return nil, fmt.Errorf("trace: pool %d smaller than replica count %d", cfg.Pool, cfg.Replicas)
-	case cfg.MeanBytes <= cfg.MedianBytes:
-		return nil, fmt.Errorf("trace: mean %g must exceed median %g for a log-normal", cfg.MeanBytes, cfg.MedianBytes)
 	}
-	// For log-normal, median = e^µ and mean = e^(µ+σ²/2).
-	mu := math.Log(cfg.MedianBytes)
-	sigma := math.Sqrt(2 * math.Log(cfg.MeanBytes/cfg.MedianBytes))
+	sizes, err := scenario.NewSizeSampler(scenario.SizeConfig{
+		Kind:        scenario.SizeLognormal,
+		MedianBytes: cfg.MedianBytes,
+		MeanBytes:   cfg.MeanBytes,
+		MinBytes:    cfg.MinBytes,
+		MaxBytes:    cfg.MaxBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	groups, err := scenario.NewGroupSampler(scenario.GroupConfig{
+		Kind: scenario.GroupKofN,
+		K:    cfg.Replicas,
+		N:    cfg.Pool,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
 	return &Cosmos{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(seed)),
-		mu:    mu,
-		sigma: sigma,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)),
+		sizes:  sizes,
+		groups: groups,
 	}, nil
 }
 
-// Next returns the next write in the trace.
+// Next returns the next write in the trace. The returned Group is freshly
+// allocated; the replay loops that draw millions of writes use NextInto.
 func (c *Cosmos) Next() Write {
-	size := int(math.Exp(c.mu + c.sigma*c.rng.NormFloat64()))
-	if size < c.cfg.MinBytes {
-		size = c.cfg.MinBytes
-	}
-	if size > c.cfg.MaxBytes {
-		size = c.cfg.MaxBytes
-	}
-	var g [3]int
-	perm := c.rng.Perm(c.cfg.Pool)[:3]
-	sort.Ints(perm)
-	copy(g[:], perm)
-	return Write{Size: size, Group: g}
+	return c.NextInto(nil)
 }
 
-// Groups enumerates every possible sorted replica triple in the pool (the
-// paper pre-creates all 455 for the 15-node case).
-func (c *Cosmos) Groups() [][3]int {
-	var out [][3]int
-	n := c.cfg.Pool
-	for a := 0; a < n; a++ {
-		for b := a + 1; b < n; b++ {
-			for d := b + 1; d < n; d++ {
-				out = append(out, [3]int{a, b, d})
-			}
-		}
-	}
-	return out
+// NextInto returns the next write, drawing the group into buf (grown if
+// needed). With a reused buffer the default 3-of-15 path allocates
+// nothing: the size draw is pure arithmetic and the group draw is a
+// partial Fisher–Yates over a persistent index array — Replicas swaps and
+// Replicas rng draws, not a full Perm(Pool).
+func (c *Cosmos) NextInto(buf []int) Write {
+	size := c.sizes.Sample(c.rng)
+	return Write{Size: size, Group: c.groups.Sample(c.rng, buf)}
 }
 
-// GroupIndex returns a dense index for a sorted triple, matching the order
-// produced by Groups.
-func (c *Cosmos) GroupIndex(g [3]int) int {
-	n := c.cfg.Pool
-	idx := 0
-	for a := 0; a < n; a++ {
-		for b := a + 1; b < n; b++ {
-			for d := b + 1; d < n; d++ {
-				if g == [3]int{a, b, d} {
-					return idx
-				}
-				idx++
-			}
-		}
+// Groups enumerates every possible sorted replica set in the pool, in
+// lexicographic order (the paper pre-creates all 455 for the 3-of-15
+// case).
+func (c *Cosmos) Groups() [][]int {
+	return scenario.EnumerateGroups(scenario.GroupConfig{
+		Kind: scenario.GroupKofN,
+		K:    c.cfg.Replicas,
+		N:    c.cfg.Pool,
+	}, scenario.Binomial(c.cfg.Pool, c.cfg.Replicas))
+}
+
+// GroupIndex returns a dense index for a sorted replica set, matching the
+// order produced by Groups — the closed-form combinatorial rank, O(k)
+// binomials instead of the old O(C(n,k)) enumeration scan. Invalid sets
+// (unsorted, repeated, or out-of-pool members) map to -1.
+func (c *Cosmos) GroupIndex(g []int) int {
+	if len(g) != c.cfg.Replicas {
+		return -1
 	}
-	return -1
+	return scenario.CombinationRank(g, c.cfg.Pool)
 }

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -15,8 +16,10 @@ func TestCosmosDefaultsMatchPaperStatistics(t *testing.T) {
 	const n = 200_000
 	sizes := make([]float64, n)
 	var sum float64
+	var buf []int
 	for i := range sizes {
-		w := gen.Next()
+		w := gen.NextInto(buf)
+		buf = w.Group
 		sizes[i] = float64(w.Size)
 		sum += sizes[i]
 	}
@@ -55,13 +58,17 @@ func TestCosmosGroupsAre455SortedTriples(t *testing.T) {
 	}
 	seen := make(map[[3]int]bool)
 	for _, g := range groups {
+		if len(g) != 3 {
+			t.Fatalf("group %v is not a triple", g)
+		}
 		if !(g[0] < g[1] && g[1] < g[2]) {
 			t.Fatalf("group %v not strictly sorted", g)
 		}
-		if seen[g] {
+		key := [3]int{g[0], g[1], g[2]}
+		if seen[key] {
 			t.Fatalf("duplicate group %v", g)
 		}
-		seen[g] = true
+		seen[key] = true
 	}
 }
 
@@ -75,8 +82,37 @@ func TestCosmosGroupIndexRoundTrips(t *testing.T) {
 			t.Fatalf("GroupIndex(%v) = %d, want %d", g, got, i)
 		}
 	}
-	if gen.GroupIndex([3]int{0, 0, 0}) != -1 {
-		t.Error("invalid triple did not map to -1")
+	for _, bad := range [][]int{
+		{0, 0, 0},    // repeated
+		{2, 1, 0},    // unsorted
+		{0, 1, 15},   // out of pool
+		{0, 1},       // wrong arity
+		{0, 1, 2, 3}, // wrong arity
+		{-1, 1, 2},   // negative
+	} {
+		if got := gen.GroupIndex(bad); got != -1 {
+			t.Errorf("GroupIndex(%v) = %d, want -1", bad, got)
+		}
+	}
+}
+
+// TestCosmosGroupIndexMatchesScanAllK pins the closed-form combinatorial
+// rank against a brute-force enumeration scan across replica counts — the
+// k-of-n generalization the scenario engine relies on.
+func TestCosmosGroupIndexMatchesScanAllK(t *testing.T) {
+	for _, tc := range []struct{ pool, k int }{
+		{15, 3}, {15, 1}, {8, 2}, {10, 4}, {6, 6}, {12, 5},
+	} {
+		gen, err := NewCosmos(CosmosConfig{Pool: tc.pool, Replicas: tc.k}, 1)
+		if err != nil {
+			t.Fatalf("pool %d k %d: %v", tc.pool, tc.k, err)
+		}
+		groups := gen.Groups()
+		for i, g := range groups {
+			if got := gen.GroupIndex(g); got != i {
+				t.Fatalf("pool %d k %d: GroupIndex(%v) = %d, want %d", tc.pool, tc.k, g, got, i)
+			}
+		}
 	}
 }
 
@@ -87,7 +123,8 @@ func TestCosmosWritesTargetValidGroups(t *testing.T) {
 	}
 	f := func(uint8) bool {
 		w := gen.Next()
-		return w.Group[0] >= 0 && w.Group[0] < w.Group[1] &&
+		return len(w.Group) == 3 &&
+			w.Group[0] >= 0 && w.Group[0] < w.Group[1] &&
 			w.Group[1] < w.Group[2] && w.Group[2] < 15 &&
 			w.Size >= 256 && w.Size <= 512<<20
 	}
@@ -96,24 +133,144 @@ func TestCosmosWritesTargetValidGroups(t *testing.T) {
 	}
 }
 
+func TestCosmosKofNWrites(t *testing.T) {
+	gen, err := NewCosmos(CosmosConfig{Pool: 9, Replicas: 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		w := gen.Next()
+		if len(w.Group) != 5 {
+			t.Fatalf("write %d: group %v, want 5 members", i, w.Group)
+		}
+		for j := 1; j < len(w.Group); j++ {
+			if w.Group[j-1] >= w.Group[j] {
+				t.Fatalf("write %d: group %v not strictly sorted", i, w.Group)
+			}
+		}
+		if w.Group[0] < 0 || w.Group[len(w.Group)-1] >= 9 {
+			t.Fatalf("write %d: group %v outside pool", i, w.Group)
+		}
+	}
+}
+
 func TestCosmosDeterministicBySeed(t *testing.T) {
 	a, _ := NewCosmos(CosmosConfig{}, 11)
 	b, _ := NewCosmos(CosmosConfig{}, 11)
+	var bufA []int
 	for i := 0; i < 100; i++ {
-		if a.Next() != b.Next() {
-			t.Fatal("same seed diverged")
+		wa := a.NextInto(bufA)
+		wb := b.Next()
+		bufA = wa.Group
+		if wa.Size != wb.Size {
+			t.Fatalf("write %d: sizes %d vs %d", i, wa.Size, wb.Size)
+		}
+		if len(wa.Group) != len(wb.Group) {
+			t.Fatalf("write %d: groups %v vs %v", i, wa.Group, wb.Group)
+		}
+		for j := range wa.Group {
+			if wa.Group[j] != wb.Group[j] {
+				t.Fatalf("write %d: groups %v vs %v", i, wa.Group, wb.Group)
+			}
 		}
 	}
 }
 
 func TestCosmosConfigValidation(t *testing.T) {
-	if _, err := NewCosmos(CosmosConfig{Replicas: 2}, 1); err == nil {
-		t.Error("non-3 replica count accepted")
-	}
 	if _, err := NewCosmos(CosmosConfig{Pool: 2, Replicas: 3}, 1); err == nil {
 		t.Error("pool smaller than replicas accepted")
 	}
+	if _, err := NewCosmos(CosmosConfig{Replicas: -1}, 1); err == nil {
+		t.Error("negative replica count accepted")
+	}
 	if _, err := NewCosmos(CosmosConfig{MedianBytes: 10, MeanBytes: 5}, 1); err == nil {
 		t.Error("mean below median accepted")
+	}
+	// The old 3-only restriction is lifted: k-of-n configs are valid.
+	if _, err := NewCosmos(CosmosConfig{Pool: 10, Replicas: 2}, 1); err != nil {
+		t.Errorf("2-of-10 rejected: %v", err)
+	}
+}
+
+func TestCosmosNextIntoAllocationFree(t *testing.T) {
+	gen, err := NewCosmos(CosmosConfig{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int, 3)
+	allocs := testing.AllocsPerRun(1000, func() {
+		w := gen.NextInto(buf)
+		buf = w.Group
+	})
+	if allocs != 0 {
+		t.Errorf("NextInto allocates %.1f objects per write, want 0", allocs)
+	}
+}
+
+// BenchmarkCosmosNextInto measures the post-refactor draw path: partial
+// Fisher–Yates group sampling into a reused buffer.
+func BenchmarkCosmosNextInto(b *testing.B) {
+	gen, err := NewCosmos(CosmosConfig{}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]int, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := gen.NextInto(buf)
+		buf = w.Group
+	}
+}
+
+// BenchmarkCosmosNextLegacyPerm replays the pre-refactor draw: a full
+// rand.Perm(Pool) allocated per write — the before side of the
+// before/after comparison.
+func BenchmarkCosmosNextLegacyPerm(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rng.NormFloat64() // size draw
+		perm := rng.Perm(15)[:3]
+		sort.Ints(perm)
+	}
+}
+
+// BenchmarkGroupIndexRank measures the closed-form combinatorial rank.
+func BenchmarkGroupIndexRank(b *testing.B) {
+	gen, _ := NewCosmos(CosmosConfig{}, 1)
+	g := []int{7, 11, 14} // near the end of the enumeration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if gen.GroupIndex(g) < 0 {
+			b.Fatal("rank failed")
+		}
+	}
+}
+
+// BenchmarkGroupIndexLegacyScan replays the pre-refactor O(C(n,3))
+// enumeration scan the rank replaced.
+func BenchmarkGroupIndexLegacyScan(b *testing.B) {
+	g := [3]int{7, 11, 14}
+	scan := func(g [3]int) int {
+		idx := 0
+		for a := 0; a < 15; a++ {
+			for c := a + 1; c < 15; c++ {
+				for d := c + 1; d < 15; d++ {
+					if g == [3]int{a, c, d} {
+						return idx
+					}
+					idx++
+				}
+			}
+		}
+		return -1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if scan(g) < 0 {
+			b.Fatal("scan failed")
+		}
 	}
 }
