@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench-json check golden golden-record scenario scenarios
+.PHONY: all build test race vet bench-smoke bench-json bench-compare check golden golden-record scenario scenarios
 
 all: build
 
@@ -28,6 +28,13 @@ bench-smoke:
 # output (benchstat-compatible Output lines) wrapped in test2json events.
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkSendWindow|BenchmarkConcurrentGroups|BenchmarkNodePlan' -benchtime 5x -count 1 -json . > BENCH_sendwindow.json
+
+# Rerun the send-window sweep and diff it against the committed baseline.
+# Report-only: the table flags regressions, it does not fail the build
+# (pass BENCHCMP_FLAGS='-fail-over 30' to make it gate).
+bench-compare:
+	$(GO) test -run xxx -bench 'BenchmarkSendWindow' -benchtime 5x -count 1 . | tee bench_new.txt
+	$(GO) run ./cmd/benchcmp -old BENCH_sendwindow.json -new bench_new.txt -filter BenchmarkSendWindow $(BENCHCMP_FLAGS) | tee bench_compare.txt
 
 # Golden regression gate: regenerate the pinned quick-scale datasets in
 # memory and fail on any divergence. `make golden-record` refreshes the

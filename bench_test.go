@@ -286,6 +286,16 @@ func BenchmarkSendWindow(b *testing.B) {
 			})
 		}
 	}
+	// Same sweep with the data plane on in-process shared memory: the
+	// tcpnic rows above stay honest TCP; these isolate what the kernel
+	// socket path costs by removing it.
+	for _, size := range []int{1 << 20, 16 << 20} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("shmnic/size=%dMB/w=%d", size>>20, w), func(b *testing.B) {
+				benchSendWindowTCP(b, w, size, rdmc.WithIntraHost())
+			})
+		}
+	}
 	for _, size := range []int{1 << 20, 16 << 20} {
 		for _, w := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("simnic/size=%dMB/w=%d", size>>20, w), func(b *testing.B) {
@@ -295,8 +305,8 @@ func BenchmarkSendWindow(b *testing.B) {
 	}
 }
 
-func benchSendWindowTCP(b *testing.B, window, msgSize int) {
-	nodes, err := rdmc.NewLocalCluster(2)
+func benchSendWindowTCP(b *testing.B, window, msgSize int, opts ...rdmc.ClusterOption) {
+	nodes, err := rdmc.NewLocalCluster(2, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,266 @@
+// Command benchcmp compares two Go benchmark result sets and prints a
+// benchstat-style delta table — old vs new time/op, throughput, and
+// allocations per benchmark — without pulling in golang.org/x/perf. It
+// exists so the committed send-window baseline (BENCH_sendwindow.json) can
+// gate dataplane work: run the sweep, compare against the baseline, and
+// read the regression or the win off one table.
+//
+// Both inputs accept either format the toolchain produces:
+//
+//   - plain `go test -bench` text (lines starting with "Benchmark"), or
+//   - `go test -json` event streams (test2json), whose Output events wrap
+//     the same lines.
+//
+// Usage:
+//
+//	benchcmp -old BENCH_sendwindow.json -new bench_new.txt [-filter regexp] [-fail-over pct]
+//
+// With -fail-over N the exit status is 1 when any benchmark's time/op
+// regressed by more than N percent — leave it unset (0) for report-only use
+// in CI.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result aggregates every sample of one benchmark name.
+type result struct {
+	name    string
+	nsOp    []float64
+	mbs     []float64
+	bOp     []float64
+	allocOp []float64
+}
+
+func mean(xs []float64) (float64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), true
+}
+
+// parseFile reads benchmark lines from either plain bench output or a
+// test2json stream.
+func parseFile(path string) (map[string]*result, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	results := make(map[string]*result)
+	var order []string
+	consume := func(line string) {
+		name, r, ok := parseBenchLine(line)
+		if !ok {
+			return
+		}
+		agg := results[name]
+		if agg == nil {
+			agg = &result{name: name}
+			results[name] = agg
+			order = append(order, name)
+		}
+		agg.nsOp = append(agg.nsOp, r.nsOp...)
+		agg.mbs = append(agg.mbs, r.mbs...)
+		agg.bOp = append(agg.bOp, r.bOp...)
+		agg.allocOp = append(agg.allocOp, r.allocOp...)
+	}
+
+	// test2json splits one benchmark result across Output events — the
+	// name-bearing fragment ends in a tab, the measurements arrive in a
+	// later event — so Output payloads are reassembled into lines before
+	// parsing rather than treated one event at a time.
+	var pending strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev struct {
+				Action string
+				Output string
+			}
+			if json.Unmarshal([]byte(line), &ev) != nil || ev.Action != "output" {
+				continue
+			}
+			pending.WriteString(ev.Output)
+			for {
+				buffered := pending.String()
+				nl := strings.IndexByte(buffered, '\n')
+				if nl < 0 {
+					break
+				}
+				consume(buffered[:nl])
+				pending.Reset()
+				pending.WriteString(buffered[nl+1:])
+			}
+			continue
+		}
+		consume(line)
+	}
+	if pending.Len() > 0 {
+		consume(pending.String())
+	}
+	return results, order, sc.Err()
+}
+
+// parseBenchLine decodes one `BenchmarkName  N  1234 ns/op  ...` line. The
+// name's trailing -P GOMAXPROCS suffix is kept: it is part of the identity.
+func parseBenchLine(line string) (string, *result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", nil, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", nil, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", nil, false // e.g. a bare "BenchmarkFoo" progress line
+	}
+	r := &result{name: fields[0]}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.nsOp = append(r.nsOp, v)
+		case "MB/s":
+			r.mbs = append(r.mbs, v)
+		case "B/op":
+			r.bOp = append(r.bOp, v)
+		case "allocs/op":
+			r.allocOp = append(r.allocOp, v)
+		}
+	}
+	if len(r.nsOp) == 0 {
+		return "", nil, false
+	}
+	return r.name, r, true
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func fmtDelta(old, new float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.2f%%", (new-old)/old*100)
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_sendwindow.json", "baseline results (bench text or test2json)")
+	newPath := flag.String("new", "", "fresh results to compare (bench text or test2json)")
+	filter := flag.String("filter", "", "only compare benchmarks matching this regexp")
+	failOver := flag.Float64("fail-over", 0, "exit 1 if any time/op regression exceeds this percentage (0 = report only)")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -new is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: bad -filter: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	oldR, oldOrder, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	newR, newOrder, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Rows follow the baseline's order; benchmarks only present on one side
+	// are listed afterwards so they are visible rather than dropped.
+	names := append([]string(nil), oldOrder...)
+	extra := make([]string, 0)
+	for _, n := range newOrder {
+		if _, ok := oldR[n]; !ok {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	names = append(names, extra...)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-55s %12s %12s %9s %14s %9s\n", "benchmark", "old time/op", "new time/op", "delta", "allocs/op", "delta")
+	var worst float64
+	var worstName string
+	rows := 0
+	for _, name := range names {
+		if re != nil && !re.MatchString(name) {
+			continue
+		}
+		o, n := oldR[name], newR[name]
+		oldNs, hasOld := 0.0, false
+		newNs, hasNew := 0.0, false
+		if o != nil {
+			oldNs, hasOld = mean(o.nsOp)
+		}
+		if n != nil {
+			newNs, hasNew = mean(n.nsOp)
+		}
+		switch {
+		case hasOld && hasNew:
+			oa, _ := mean(o.allocOp)
+			na, _ := mean(n.allocOp)
+			fmt.Fprintf(w, "%-55s %12s %12s %9s %6.0f → %5.0f %9s\n",
+				name, fmtNs(oldNs), fmtNs(newNs), fmtDelta(oldNs, newNs), oa, na, fmtDelta(oa, na))
+			if d := (newNs - oldNs) / oldNs * 100; d > worst {
+				worst, worstName = d, name
+			}
+		case hasOld:
+			fmt.Fprintf(w, "%-55s %12s %12s %9s\n", name, fmtNs(oldNs), "-", "gone")
+		case hasNew:
+			fmt.Fprintf(w, "%-55s %12s %12s %9s\n", name, "-", fmtNs(newNs), "new")
+		default:
+			continue
+		}
+		rows++
+	}
+	if rows == 0 {
+		fmt.Fprintln(w, "(no benchmarks matched)")
+	}
+	if *failOver > 0 && worst > *failOver {
+		fmt.Fprintf(w, "\nFAIL: %s regressed %.2f%% (threshold %.2f%%)\n", worstName, worst, *failOver)
+		w.Flush()
+		os.Exit(1)
+	}
+}

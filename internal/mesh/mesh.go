@@ -7,6 +7,7 @@
 package mesh
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -202,8 +203,14 @@ func (m *Mesh) SetHandler(fn func(from rdma.NodeID, m core.CtrlMsg)) {
 
 func (m *Mesh) readLoop(id rdma.NodeID, pc *peerConn) {
 	var rbuf [ctrlWireLen]byte
+	// A burst of control messages — a window's worth of credit notices, a
+	// round of readies — often sits queued in the socket; the buffered
+	// reader drains the burst with one syscall instead of one per 38-byte
+	// frame. The loop is the connection's only reader, so buffering cannot
+	// strand bytes another reader needs.
+	br := bufio.NewReaderSize(pc.conn, 64*ctrlWireLen)
 	for {
-		if _, err := io.ReadFull(pc.conn, rbuf[:]); err != nil {
+		if _, err := io.ReadFull(br, rbuf[:]); err != nil {
 			m.peerDown(id, pc)
 			return
 		}

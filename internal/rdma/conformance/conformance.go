@@ -51,6 +51,7 @@ func Run(t *testing.T, f Factory) {
 		{"PostWithoutHandlerFails", testPostWithoutHandler},
 		{"PostedRecvTooSmallBreaksQueuePair", testPostedRecvTooSmall},
 		{"LateRecvTooSmallReturnsErrorAndBreaks", testLateRecvTooSmall},
+		{"PostedBuffersOwnedUntilCompletion", testPostedBufferOwnership},
 		{"QueuePairCloseFailsOutstandingWork", testQPCloseFailsOutstanding},
 		{"BrokenMidWindowedTransferPropagates", testBrokenMidWindow},
 		{"ProviderCloseRefusesNewWork", testProviderClose},
@@ -502,6 +503,81 @@ func testLateRecvTooSmall(t *testing.T, h *Harness) {
 	}
 	if err := qb.PostRecv(rdma.SizeBuffer(64), 3); err != rdma.ErrBroken {
 		t.Errorf("post after overflow: err = %v, want ErrBroken", err)
+	}
+}
+
+// testPostedBufferOwnership pins the ownership half of the zero-copy
+// contract: a posted buffer belongs to the provider only until its
+// completion fires. Once the poster observes the send (or write) completion
+// it may immediately reuse the buffer, and bytes already in flight must not
+// be affected — so a transport may reference posted memory instead of
+// copying it, but must have captured the payload (handed it to the kernel,
+// the peer, or the fabric) before completing the work request. Mutating a
+// buffer BEFORE its completion remains undefined behaviour; this case pins
+// the defined side only, identically on every transport.
+func testPostedBufferOwnership(t *testing.T, h *Harness) {
+	sa, sb := attach(h)
+	qa, qb := connect(t, h, 21)
+
+	if err := qb.PostRecv(rdma.MakeBuffer(make([]byte, 64)), 1); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("owned until completion")
+	want := append([]byte(nil), payload...)
+	if err := qa.PostSend(rdma.MakeBuffer(payload), 0xbeef, 2); err != nil {
+		t.Fatal(err)
+	}
+	sa.waitN(t, h, 1) // completion observed: ownership is back with the caller
+	for i := range payload {
+		payload[i] = 0xff
+	}
+	recvs := sb.waitN(t, h, 1)
+	if !bytes.Equal(recvs[0].Data, want) {
+		t.Errorf("recv data = %q, want %q (send buffer reuse after completion corrupted the payload)", recvs[0].Data, want)
+	}
+
+	// Same contract for one-sided writes: after the write completion the
+	// source slice is the caller's again, and the region must hold the
+	// pre-reuse bytes.
+	region := make([]byte, 32)
+	if err := h.B.RegisterRegion(8, region); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	landed := false
+	if err := h.B.WatchRegion(8, func(off, n int) {
+		mu.Lock()
+		landed = true
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("write-me")
+	wantW := append([]byte(nil), data...)
+	if err := qa.PostWrite(8, 4, data, 3); err != nil {
+		t.Fatal(err)
+	}
+	sa.waitN(t, h, 2)
+	for i := range data {
+		data[i] = 0xee
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h.Settle()
+		mu.Lock()
+		ok := landed
+		mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for one-sided write to land")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !bytes.Equal(region[4:4+len(wantW)], wantW) {
+		t.Errorf("region = %q, want %q (write buffer reuse after completion corrupted the payload)", region[4:4+len(wantW)], wantW)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rdmc/internal/rdma"
+	"rdmc/internal/rdma/shmnic"
 	"rdmc/internal/rdma/simnic"
 	"rdmc/internal/rdma/tcpnic"
 	"rdmc/internal/simnet"
@@ -29,6 +30,29 @@ func TestSimnicConformance(t *testing.T) {
 			A:      network.Provider(0),
 			B:      network.Provider(1),
 			Settle: func() { sim.Run() },
+		}
+	})
+}
+
+func TestShmNicConformance(t *testing.T) {
+	Run(t, func(t *testing.T) *Harness {
+		ex := shmnic.NewExchange()
+		a, err := shmnic.New(shmnic.Config{NodeID: 0, Exchange: ex})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := shmnic.New(shmnic.Config{NodeID: 1, Exchange: ex})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			_ = a.Close()
+			_ = b.Close()
+		})
+		return &Harness{
+			A:      a,
+			B:      b,
+			Settle: func() { time.Sleep(time.Millisecond) },
 		}
 	})
 }

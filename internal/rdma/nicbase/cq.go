@@ -10,7 +10,7 @@ import (
 // maxBatch bounds how many completions one dispatcher wakeup hands to a
 // batch handler. Large enough to amortize the consumer's per-batch work
 // (the engine takes one group lock per same-group run), small enough that a
-// slow handler cannot starve the channel senders behind a giant drain.
+// slow handler cannot starve the ring producers behind a giant drain.
 const maxBatch = 256
 
 // CompletionQueue serializes a node's completions into its single installed
@@ -22,25 +22,27 @@ const maxBatch = 256
 //   - NewEventCQ hands each delivery to a submit hook supplied by the
 //     provider, for transports that already run on a serial event loop
 //     (simnic routes deliveries through the simulated CPU model);
-//   - NewChannelCQ buffers completions on a channel drained by one
+//   - NewRingCQ queues completions on a fixed-capacity Ring drained by one
 //     dispatcher goroutine, for transports whose queue pairs complete work
 //     on independent goroutines (tcpnic's per-connection readers and
-//     writers).
+//     writers, shmnic's synchronous intra-host deliveries).
 //
 // Either way the handler observes completions serially, which is the
 // contract the protocol engine is written against.
 //
-// A consumer may install a batch handler instead (SetBatchHandler): channel
-// mode then drains up to maxBatch queued completions per wakeup into one
-// slice, so the consumer's per-batch overhead (a group lock, say) is paid
-// once per drain rather than once per completion. Event mode delivers
-// single-element batches — its submit hook is already the serialization
-// point and there is no queue to drain.
+// A consumer may install a batch handler instead (SetBatchHandler): ring
+// mode then drains the whole ring per wakeup and hands it over in slices of
+// up to maxBatch, so the consumer's per-batch overhead (a group lock, say)
+// is paid once per drained run rather than once per completion. Event mode
+// delivers the PostBatch grouping as posted (single-element batches for
+// Post) — its submit hook is already the serialization point and there is
+// no queue to drain.
 type CompletionQueue struct {
 	// Instrumentation, nil by default; installed through Base.SetObserver
 	// before any activity (see obs.go).
 	completions *obs.Counter
 	batchSize   *obs.Histogram
+	ringBatches *obs.Counter
 
 	mu      sync.Mutex
 	handler func(rdma.Completion)
@@ -49,9 +51,8 @@ type CompletionQueue struct {
 	// Event mode.
 	submit func(fn func())
 
-	// Channel mode.
-	ch   chan rdma.Completion
-	quit chan struct{}
+	// Ring mode.
+	ring *Ring
 	wg   sync.WaitGroup
 }
 
@@ -62,17 +63,12 @@ func NewEventCQ(submit func(fn func())) *CompletionQueue {
 	return &CompletionQueue{submit: submit}
 }
 
-// NewChannelCQ builds a completion queue with its own dispatcher goroutine
-// reading a buffered channel; buffer sizes the channel (zero selects 1024).
-// Close stops the dispatcher after draining what is queued.
-func NewChannelCQ(buffer int) *CompletionQueue {
-	if buffer <= 0 {
-		buffer = 1024
-	}
-	q := &CompletionQueue{
-		ch:   make(chan rdma.Completion, buffer),
-		quit: make(chan struct{}),
-	}
+// NewRingCQ builds a completion queue whose producers post into a
+// fixed-capacity submission ring drained whole by one dispatcher goroutine;
+// capacity sizes the ring (zero selects 1024). Close stops the dispatcher
+// after draining what is queued.
+func NewRingCQ(capacity int) *CompletionQueue {
+	q := &CompletionQueue{ring: NewRing(capacity)}
 	q.wg.Add(1)
 	go q.dispatch()
 	return q
@@ -105,7 +101,7 @@ func (q *CompletionQueue) HasHandler() bool {
 }
 
 // Post delivers one completion. Event mode submits it to the provider's
-// loop; channel mode enqueues it for the dispatcher (dropping it only when
+// loop; ring mode enqueues it for the dispatcher (dropping it only when
 // the queue has been closed, matching a destroyed hardware CQ).
 func (q *CompletionQueue) Post(c rdma.Completion) {
 	q.completions.Inc()
@@ -123,67 +119,89 @@ func (q *CompletionQueue) Post(c rdma.Completion) {
 		}
 		return
 	}
-	select {
-	case q.ch <- c:
-	case <-q.quit:
-	}
+	q.ring.Push(c)
 }
 
-// dispatch drains the channel serially; on Close it delivers whatever is
-// still queued and exits. With a batch handler installed it slurps every
-// already-queued completion (up to maxBatch) per wakeup, reusing one backing
-// slice across wakeups so steady-state dispatch allocates nothing.
-func (q *CompletionQueue) dispatch() {
-	defer q.wg.Done()
-	buf := make([]rdma.Completion, 0, maxBatch)
-	deliver := func(c rdma.Completion) {
+// PostBatch delivers a run of completions in order with one ring operation —
+// the producer-side half of completion coalescing (tcpnic's writer retires a
+// whole writev batch this way). Event mode keeps the grouping and submits
+// the run as one batch.
+func (q *CompletionQueue) PostBatch(cs []rdma.Completion) {
+	if len(cs) == 0 {
+		return
+	}
+	q.completions.Add(uint64(len(cs)))
+	if q.submit != nil {
 		q.mu.Lock()
 		h, bh := q.handler, q.batch
 		q.mu.Unlock()
-		if bh != nil {
-			buf = append(buf[:0], c)
-			for len(buf) < maxBatch {
-				select {
-				case more := <-q.ch:
-					buf = append(buf, more)
-				default:
-					q.batchSize.Observe(int64(len(buf)))
-					bh(buf)
-					return
-				}
+		switch {
+		case bh != nil:
+			q.batchSize.Observe(int64(len(cs)))
+			batch := append([]rdma.Completion(nil), cs...)
+			q.submit(func() { bh(batch) })
+		case h != nil:
+			for _, c := range cs {
+				c := c
+				q.submit(func() { h(c) })
 			}
-			q.batchSize.Observe(int64(len(buf)))
-			bh(buf)
-			return
 		}
-		if h != nil {
-			h(c)
-		}
+		return
 	}
+	q.ring.PushBatch(cs)
+}
+
+// dispatch drains the ring serially; on Close it delivers whatever is still
+// queued and exits. Every wakeup slurps the whole ring in one pass into a
+// reused backing slice — so steady-state dispatch allocates nothing — and
+// hands it to the consumer in slices of up to maxBatch.
+func (q *CompletionQueue) dispatch() {
+	defer q.wg.Done()
+	buf := make([]rdma.Completion, 0, q.ring.Capacity())
 	for {
-		select {
-		case c := <-q.ch:
-			deliver(c)
-		case <-q.quit:
-			for {
-				select {
-				case c := <-q.ch:
-					deliver(c)
-				default:
-					return
-				}
-			}
+		var ok bool
+		buf, ok = q.ring.Drain(buf[:0])
+		if len(buf) > 0 {
+			q.ringBatches.Inc()
+			q.deliver(buf)
+		}
+		if !ok {
+			return
 		}
 	}
 }
 
-// Close stops a channel-mode dispatcher after a drain pass and waits for it
-// to exit; event-mode queues have nothing to stop. Close is idempotent only
-// through the owning Base, which guards it with its closed flag.
+// deliver hands one drained run to the installed consumer.
+func (q *CompletionQueue) deliver(run []rdma.Completion) {
+	q.mu.Lock()
+	h, bh := q.handler, q.batch
+	q.mu.Unlock()
+	if bh != nil {
+		for len(run) > 0 {
+			n := len(run)
+			if n > maxBatch {
+				n = maxBatch
+			}
+			q.batchSize.Observe(int64(n))
+			bh(run[:n])
+			run = run[n:]
+		}
+		return
+	}
+	if h != nil {
+		for _, c := range run {
+			h(c)
+		}
+	}
+}
+
+// Close stops a ring-mode dispatcher after a final drain pass and waits for
+// it to exit; event-mode queues have nothing to stop. Close is idempotent
+// only through the owning Base, which guards it with its closed flag.
 func (q *CompletionQueue) Close() {
 	if q.submit != nil {
 		return
 	}
-	close(q.quit)
+	q.ring.Close()
 	q.wg.Wait()
 }

@@ -60,12 +60,17 @@ func (b *Base) NodeID() rdma.NodeID { return b.id }
 func (b *Base) SetHandler(h func(rdma.Completion)) { b.cq.SetHandler(h) }
 
 // SetBatchHandler implements rdma.BatchProvider: completions are drained to
-// the handler in slices (channel-mode dispatch) or single-element batches
-// (event-mode dispatch), replacing any per-completion handler.
+// the handler in slices (ring-mode dispatch) or in the batches the producer
+// posted (event-mode dispatch), replacing any per-completion handler.
 func (b *Base) SetBatchHandler(h func([]rdma.Completion)) { b.cq.SetBatchHandler(h) }
 
 // Complete posts one completion to the node's queue.
 func (b *Base) Complete(c rdma.Completion) { b.cq.Post(c) }
+
+// CompleteBatch posts a run of completions in order with one queue
+// operation — the completion-coalescing half of the ring pair (tcpnic's
+// writer retires a whole writev batch this way).
+func (b *Base) CompleteBatch(cs []rdma.Completion) { b.cq.PostBatch(cs) }
 
 // CheckPost is the shared gate in front of every work-request post: the
 // provider must be open and a completion handler installed.
@@ -141,7 +146,7 @@ func (b *Base) Shutdown() ([]rdma.QueuePair, bool) {
 	return qps, true
 }
 
-// CloseCQ stops the completion dispatcher (channel mode only). Transports
+// CloseCQ stops the completion dispatcher (ring mode only). Transports
 // call it after breaking their queue pairs so broken-status completions
 // still drain.
 func (b *Base) CloseCQ() { b.cq.Close() }

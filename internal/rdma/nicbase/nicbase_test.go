@@ -54,8 +54,8 @@ func TestEventCQDropsWithoutHandler(t *testing.T) {
 	}
 }
 
-func TestChannelCQDrainsOnClose(t *testing.T) {
-	cq := NewChannelCQ(8)
+func TestRingCQDrainsOnClose(t *testing.T) {
+	cq := NewRingCQ(8)
 	var mu sync.Mutex
 	var got []uint64
 	cq.SetHandler(func(c rdma.Completion) {
@@ -208,5 +208,171 @@ func TestBufPoolRecycles(t *testing.T) {
 	p.Put(nil) // must not panic
 	if got := p.Get(128); len(got) != 128 {
 		t.Fatalf("Get(128) after undersized pool entry: len = %d", len(got))
+	}
+}
+
+func TestBufPoolSizeClasses(t *testing.T) {
+	var p BufPool
+	// Every request lands in a buffer whose capacity is the exact class size.
+	for _, n := range []int{1, 63, 64, 65, 1000, 4096, 1 << 20, 1<<22 - 1, 1 << 22} {
+		b := p.Get(n)
+		if len(b) != n {
+			t.Fatalf("Get(%d) len = %d", n, len(b))
+		}
+		if c := cap(b); c < n || c&(c-1) != 0 || c < 1<<poolMinBits || c > 1<<poolMaxBits {
+			t.Fatalf("Get(%d) cap = %d, want exact power-of-two class", n, c)
+		}
+		p.Put(b)
+	}
+	// Oversize requests bypass the classes entirely...
+	big := p.Get(1<<22 + 1)
+	if len(big) != 1<<22+1 {
+		t.Fatalf("oversize Get len = %d", len(big))
+	}
+	p.Put(big) // ...and Put drops them rather than poisoning a class.
+	if b := p.Get(1 << 22); cap(b) != 1<<22 {
+		t.Fatalf("class polluted by oversize Put: cap = %d", cap(b))
+	}
+	// A foreign buffer with non-class capacity is likewise dropped.
+	p.Put(make([]byte, 100))
+	if b := p.Get(100); cap(b) != 128 {
+		t.Fatalf("class polluted by foreign Put: cap = %d", cap(b))
+	}
+	p.Put(nil)
+	p.Put(make([]byte, 10)) // below the smallest class: dropped
+	if got := p.Get(0); got == nil || len(got) != 0 {
+		t.Fatalf("Get(0) = %v, want non-nil empty", got)
+	}
+}
+
+func TestBufPoolConcurrentChurn(t *testing.T) {
+	// Hammer overlapping size classes from several goroutines; under -race
+	// this proves Get/Put are safe, and the length/zero checks prove a
+	// buffer is never shared by two holders at once.
+	var p BufPool
+	sizes := []int{48, 64, 100, 4096, 65536}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := sizes[(g+i)%len(sizes)]
+				b := p.Get(n)
+				if len(b) != n {
+					t.Errorf("Get(%d) len = %d", n, len(b))
+					return
+				}
+				b[0], b[n-1] = byte(g), byte(g)
+				if b[0] != byte(g) || b[n-1] != byte(g) {
+					t.Error("buffer shared across holders")
+					return
+				}
+				p.Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestRingPushDrainFIFO(t *testing.T) {
+	r := NewRing(4)
+	if r.Capacity() != 4 {
+		t.Fatalf("Capacity = %d", r.Capacity())
+	}
+	// A batch larger than the ring lands in waves: a consumer drains
+	// between them, and order is preserved end to end.
+	cs := make([]rdma.Completion, 10)
+	for i := range cs {
+		cs[i] = rdma.Completion{WRID: uint64(i)}
+	}
+	var got []rdma.Completion
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for len(got) < len(cs) {
+			var ok bool
+			got, ok = r.Drain(got)
+			if !ok {
+				return
+			}
+		}
+	}()
+	if !r.PushBatch(cs) {
+		t.Error("PushBatch on open ring returned false")
+	}
+	<-done
+	for i, c := range got {
+		if c.WRID != uint64(i) {
+			t.Fatalf("drained order %v", got)
+		}
+	}
+}
+
+func TestRingCloseUnblocksAndDrainsTail(t *testing.T) {
+	r := NewRing(2)
+	r.Push(rdma.Completion{WRID: 1})
+	r.Push(rdma.Completion{WRID: 2})
+	blocked := make(chan bool)
+	go func() { blocked <- r.Push(rdma.Completion{WRID: 3}) }() // ring full: blocks
+	r.Close()
+	if ok := <-blocked; ok {
+		t.Error("Push on closed ring returned true")
+	}
+	// Entries queued before Close still drain; then the ring reports dry.
+	out, ok := r.Drain(nil)
+	if !ok || len(out) != 2 || out[0].WRID != 1 || out[1].WRID != 2 {
+		t.Fatalf("post-close drain = %v ok=%v", out, ok)
+	}
+	if out, ok := r.Drain(nil); ok || len(out) != 0 {
+		t.Fatalf("dry closed ring: drain = %v ok=%v", out, ok)
+	}
+	if r.Push(rdma.Completion{}) {
+		t.Error("Push after close returned true")
+	}
+	if r.PushBatch([]rdma.Completion{{}}) {
+		t.Error("PushBatch after close returned true")
+	}
+	r.Close() // idempotent
+}
+
+func TestRingCQBatchHandlerChunks(t *testing.T) {
+	cq := NewRingCQ(maxBatch * 2)
+	var mu sync.Mutex
+	var batches [][]uint64
+	total := 0
+	cq.SetBatchHandler(func(cs []rdma.Completion) {
+		ids := make([]uint64, len(cs))
+		for i, c := range cs {
+			ids[i] = c.WRID
+		}
+		mu.Lock()
+		batches = append(batches, ids)
+		total += len(cs)
+		mu.Unlock()
+	})
+	n := maxBatch + 7
+	cs := make([]rdma.Completion, n)
+	for i := range cs {
+		cs[i] = rdma.Completion{WRID: uint64(i)}
+	}
+	cq.PostBatch(cs)
+	cq.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if total != n {
+		t.Fatalf("delivered %d of %d", total, n)
+	}
+	next := uint64(0)
+	for _, b := range batches {
+		if len(b) > maxBatch {
+			t.Fatalf("batch of %d exceeds maxBatch", len(b))
+		}
+		for _, id := range b {
+			if id != next {
+				t.Fatalf("out of order: got %d want %d", id, next)
+			}
+			next++
+		}
 	}
 }

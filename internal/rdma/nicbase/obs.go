@@ -4,9 +4,10 @@ import "rdmc/internal/obs"
 
 // SetObserver installs (or, with nil, removes) NIC-level instrumentation:
 //
-//	nic.posts        work requests admitted through CheckPost
-//	nic.completions  completions posted to the node's CQ
-//	nic.cq_batch     completions handed to the batch handler per wakeup
+//	nic.posts          work requests admitted through CheckPost
+//	nic.completions    completions posted to the node's CQ
+//	nic.cq_batch       completions handed to the batch handler per wakeup
+//	nicbase.ring_batch dispatcher wakeups that drained a non-empty ring
 //
 // Like every observer hook in the tree it must be installed before provider
 // activity — the instrument pointers are read without synchronization on the
@@ -15,16 +16,17 @@ import "rdmc/internal/obs"
 func (b *Base) SetObserver(o *obs.Obs) {
 	if o == nil {
 		b.posts = nil
-		b.cq.setMetrics(nil, nil)
+		b.cq.setMetrics(nil, nil, nil)
 		return
 	}
 	r := o.Registry()
 	b.posts = r.Counter("nic.posts")
-	b.cq.setMetrics(r.Counter("nic.completions"), r.Histogram("nic.cq_batch", obs.Pow2Buckets(9)))
+	b.cq.setMetrics(r.Counter("nic.completions"), r.Histogram("nic.cq_batch", obs.Pow2Buckets(9)), r.Counter("nicbase.ring_batch"))
 }
 
 // setMetrics installs the queue's instruments (see Base.SetObserver).
-func (q *CompletionQueue) setMetrics(completions *obs.Counter, batchSize *obs.Histogram) {
+func (q *CompletionQueue) setMetrics(completions *obs.Counter, batchSize *obs.Histogram, ringBatches *obs.Counter) {
 	q.completions = completions
 	q.batchSize = batchSize
+	q.ringBatches = ringBatches
 }

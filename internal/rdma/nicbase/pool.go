@@ -1,33 +1,71 @@
 package nicbase
 
-import "sync"
+import (
+	"math/bits"
+	"sync"
+)
 
-// BufPool recycles block-sized byte buffers across transfers. The dataplane
-// allocates one staging or arrival buffer per block in steady state (the
-// first-block landing area, early arrivals the receiver has not posted for,
-// inbound write payloads); since a deployment uses one or two block sizes,
-// a single pool reaches near-zero steady-state allocation without size
-// classes. Get never returns a buffer shorter than requested; an undersized
-// pooled buffer is simply dropped for the GC.
+// Size classes span 64 B (spill fragments, control payloads) to 4 MB (the
+// largest block size the experiments use). Each class holds buffers of
+// exactly its power-of-two capacity, so Put can classify by cap alone and a
+// recycled buffer always satisfies any request that maps to its class.
+const (
+	poolMinBits = 6
+	poolMaxBits = 22
+	poolClasses = poolMaxBits - poolMinBits + 1
+)
+
+// BufPool recycles block-sized byte buffers across transfers through
+// power-of-two size classes. The dataplane allocates one staging or arrival
+// buffer per block in steady state (the first-block landing area, early
+// arrivals the receiver has not posted for, inbound write payloads, reader
+// spill fragments); classing by size means a workload mixing 1 MB blocks
+// with 64 B control payloads recycles both instead of thrashing one shared
+// free list. Requests beyond the largest class fall through to the garbage
+// collector, and Put drops any buffer whose capacity is not an exact class
+// size — an oversize or foreign buffer can never poison a class.
 type BufPool struct {
-	p sync.Pool
+	classes [poolClasses]sync.Pool
 }
 
-// Get returns a buffer of length n (contents unspecified).
-func (p *BufPool) Get(n int) []byte {
-	if v := p.p.Get(); v != nil {
-		if b := *(v.(*[]byte)); cap(b) >= n {
-			return b[:n]
-		}
+// classFor maps a request of n bytes to the smallest class that holds it.
+// Callers have already bounded n to (0, 1<<poolMaxBits].
+func classFor(n int) int {
+	c := bits.Len(uint(n-1)) - poolMinBits
+	if c < 0 {
+		return 0
 	}
-	return make([]byte, n)
+	return c
+}
+
+// Get returns a buffer of length n (contents unspecified). Buffers larger
+// than the top class are freshly allocated and will not be pooled on Put.
+func (p *BufPool) Get(n int) []byte {
+	if n <= 0 {
+		// Zero-length requests still get a non-nil buffer: nil payloads
+		// mean "virtual frame" to the transports, and a zero-size
+		// allocation costs nothing.
+		return []byte{}
+	}
+	if n > 1<<poolMaxBits {
+		return make([]byte, n)
+	}
+	c := classFor(n)
+	if v := p.classes[c].Get(); v != nil {
+		return (*(v.(*[]byte)))[:n]
+	}
+	return make([]byte, n, 1<<(c+poolMinBits))
 }
 
 // Put recycles a buffer obtained from Get once its contents have been
-// consumed. The caller must not touch b afterwards.
+// consumed. The caller must not touch b afterwards. Buffers whose capacity
+// is not an exact class size (oversize allocations, slices from elsewhere)
+// are dropped for the GC rather than filed under a class they don't fit.
 func (p *BufPool) Put(b []byte) {
-	if cap(b) == 0 {
+	c := cap(b)
+	if c < 1<<poolMinBits || c > 1<<poolMaxBits || c&(c-1) != 0 {
 		return
 	}
-	p.p.Put(&b)
+	b = b[:c]
+	p.classes[bits.Len(uint(c))-1-poolMinBits].Put(&b)
 }

@@ -1,0 +1,133 @@
+package nicbase
+
+import (
+	"sync"
+
+	"rdmc/internal/rdma"
+)
+
+// Ring is a fixed-capacity completion ring: the io_uring-style buffer behind
+// ring-mode CompletionQueues. Producers (a transport's reader and writer
+// goroutines) push completions one at a time or in batches; one consumer (the
+// CQ dispatcher) drains everything queued in a single pass per wakeup, so the
+// per-wakeup costs downstream — the handler's group lock, the futex to wake
+// the dispatcher — are paid once per drained run instead of once per
+// completion.
+//
+// Push blocks while the ring is full (the transport-side analogue of a full
+// hardware CQ exerting backpressure on the doorbell) and returns false only
+// once the ring is closed. Drain blocks while the ring is empty and keeps
+// returning queued entries after Close until the ring is dry, so no
+// completion posted before Close is lost.
+type Ring struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	notFull  sync.Cond
+	buf      []rdma.Completion
+	head     int // index of the oldest entry
+	size     int // entries queued
+	closed   bool
+}
+
+// NewRing builds a ring holding up to capacity completions (zero or negative
+// selects 1024, matching the historical channel-mode buffer).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	r := &Ring{buf: make([]rdma.Completion, capacity)}
+	r.notEmpty.L = &r.mu
+	r.notFull.L = &r.mu
+	return r
+}
+
+// Capacity returns the fixed ring size.
+func (r *Ring) Capacity() int { return len(r.buf) }
+
+// Push enqueues one completion, blocking while the ring is full. It returns
+// false when the ring has been closed (the completion is dropped, matching a
+// destroyed hardware CQ).
+func (r *Ring) Push(c rdma.Completion) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.size == len(r.buf) && !r.closed {
+		r.notFull.Wait()
+	}
+	if r.closed {
+		return false
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = c
+	r.size++
+	if r.size == 1 {
+		r.notEmpty.Signal()
+	}
+	return true
+}
+
+// PushBatch enqueues a run of completions in order, blocking for space as
+// needed (a batch larger than the ring lands in capacity-sized waves). It
+// returns false when the ring closed before every entry was queued; entries
+// already queued still drain.
+func (r *Ring) PushBatch(cs []rdma.Completion) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(cs) > 0 {
+		for r.size == len(r.buf) && !r.closed {
+			r.notFull.Wait()
+		}
+		if r.closed {
+			return false
+		}
+		wasEmpty := r.size == 0
+		n := len(r.buf) - r.size
+		if n > len(cs) {
+			n = len(cs)
+		}
+		for i := 0; i < n; i++ {
+			r.buf[(r.head+r.size+i)%len(r.buf)] = cs[i]
+		}
+		r.size += n
+		cs = cs[n:]
+		if wasEmpty {
+			r.notEmpty.Signal()
+		}
+	}
+	return true
+}
+
+// Drain appends everything queued to dst in FIFO order — the whole ring in
+// one pass — blocking while the ring is empty. It returns ok=false only when
+// the ring is closed AND dry, so a Close never truncates queued completions.
+func (r *Ring) Drain(dst []rdma.Completion) ([]rdma.Completion, bool) {
+	r.mu.Lock()
+	for r.size == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	if r.size == 0 {
+		r.mu.Unlock()
+		return dst, false
+	}
+	wasFull := r.size == len(r.buf)
+	for r.size > 0 {
+		dst = append(dst, r.buf[r.head])
+		r.buf[r.head] = rdma.Completion{}
+		r.head = (r.head + 1) % len(r.buf)
+		r.size--
+	}
+	r.head = 0
+	if wasFull {
+		r.notFull.Broadcast()
+	}
+	r.mu.Unlock()
+	return dst, true
+}
+
+// Close marks the ring closed: blocked pushers return false, and the consumer
+// drains what is queued and then sees ok=false. Idempotent.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.notEmpty.Broadcast()
+	r.notFull.Broadcast()
+	r.mu.Unlock()
+}

@@ -119,21 +119,37 @@ type Completion struct {
 
 // QueuePair is one endpoint of a reliable connection. Work requests on a
 // queue pair execute and complete in FIFO order.
+//
+// Posting a buffer lends it to the provider until the matching completion
+// fires, exactly as registered memory is lent to a hardware NIC while a work
+// request is outstanding. Transports rely on this to run zero-copy: posted
+// send and write payloads are referenced, not copied, so mutating a buffer
+// between post and completion is undefined behaviour — the wire may carry
+// either version. Once the completion is observed the buffer is the
+// caller's again; the payload has been captured by then, so immediate reuse
+// is safe. A receive buffer's contents are likewise unspecified until its
+// completion reports StatusOK. The conformance suite's
+// PostedBuffersOwnedUntilCompletion case pins the defined (post-completion
+// reuse) side of this contract on every transport.
 type QueuePair interface {
 	// Peer returns the remote node.
 	Peer() NodeID
 	// Token returns the rendezvous token that paired the endpoints.
 	Token() uint64
 	// PostSend enqueues a send carrying buf and the immediate value. The
-	// matching receive completion at the peer reports imm.
+	// matching receive completion at the peer reports imm. buf is lent to
+	// the provider until the send completion fires (see the ownership
+	// contract above).
 	PostSend(buf Buffer, imm uint32, wrID uint64) error
 	// PostRecv enqueues a receive buffer. Arriving sends match posted
 	// receives in order; buf must be at least as large as the arriving
-	// message.
+	// message. buf's contents are unspecified until the receive completes
+	// with StatusOK.
 	PostRecv(buf Buffer, wrID uint64) error
 	// PostWrite enqueues a one-sided write of data into the peer's
 	// registered region at the given offset. Only the local end observes
 	// a completion; the peer's region watcher (if any) fires instead.
+	// data is lent to the provider until the write completion fires.
 	PostWrite(region RegionID, offset int, data []byte, wrID uint64) error
 	// Close tears the connection down. The peer observes StatusBroken on
 	// its outstanding work requests.

@@ -199,7 +199,10 @@ func (q *queuePair) PostSend(buf rdma.Buffer, imm uint32, wrID uint64) error {
 	return nil
 }
 
-// PostWrite implements rdma.QueuePair.
+// PostWrite implements rdma.QueuePair. The payload is referenced, not
+// copied — data stays owned by the provider until the write completion
+// fires (the ownership contract on rdma.QueuePair), which is what lets the
+// simulated NIC stay allocation-free per write.
 func (q *queuePair) PostWrite(region rdma.RegionID, offset int, data []byte, wrID uint64) error {
 	if err := q.postCheck(); err != nil {
 		return err
@@ -208,7 +211,7 @@ func (q *queuePair) PostWrite(region rdma.RegionID, offset int, data []byte, wrI
 		write:  true,
 		region: region,
 		offset: offset,
-		data:   append([]byte(nil), data...),
+		data:   data,
 		buf:    rdma.SizeBuffer(len(data)),
 		wrID:   wrID,
 	})

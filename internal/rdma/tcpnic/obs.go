@@ -6,17 +6,18 @@ import "rdmc/internal/obs"
 // instrumentation: the shared NIC instruments (see nicbase.Base.SetObserver)
 // plus the TCP transport's own receive-path and writer-coalescing meters:
 //
-//	tcpnic.direct_frames   data frames landed directly in a posted receive
-//	tcpnic.staged_frames   data frames staged through a pooled buffer
-//	tcpnic.staged_bytes    bytes that took the staged (extra-copy) path
-//	tcpnic.writer_coalesce frames folded into one vectored write
+//	tcpnic.direct_frames    data frames landed directly in a posted receive
+//	tcpnic.staged_frames    data frames staged through a pooled buffer
+//	tcpnic.staged_bytes     bytes that took the staged (extra-copy) path
+//	tcpnic.zero_copy_sends  frames emitted referencing caller memory directly
+//	tcpnic.writer_coalesce  frames folded into one vectored write
 //
 // Must be installed before provider activity; every instrument is nil-safe,
 // so an unobserved provider pays only nil tests.
 func (p *Provider) SetObserver(o *obs.Obs) {
 	if o == nil {
 		p.Base.SetObserver(nil)
-		p.obsDirect, p.obsStaged, p.obsStagedBytes, p.obsCoalesce = nil, nil, nil, nil
+		p.obsDirect, p.obsStaged, p.obsStagedBytes, p.obsZeroCopy, p.obsCoalesce = nil, nil, nil, nil, nil
 		return
 	}
 	p.Base.SetObserver(o)
@@ -24,5 +25,6 @@ func (p *Provider) SetObserver(o *obs.Obs) {
 	p.obsDirect = r.Counter("tcpnic.direct_frames")
 	p.obsStaged = r.Counter("tcpnic.staged_frames")
 	p.obsStagedBytes = r.Counter("tcpnic.staged_bytes")
-	p.obsCoalesce = r.Histogram("tcpnic.writer_coalesce", obs.Pow2Buckets(4))
+	p.obsZeroCopy = r.Counter("tcpnic.zero_copy_sends")
+	p.obsCoalesce = r.Histogram("tcpnic.writer_coalesce", obs.Pow2Buckets(9))
 }

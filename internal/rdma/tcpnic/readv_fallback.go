@@ -1,0 +1,13 @@
+//go:build !linux
+
+package tcpnic
+
+import "net"
+
+// vectorReader is unavailable off Linux: newVectorReader returns nil and
+// the frame reader sticks to plain header/payload reads.
+type vectorReader struct{}
+
+func newVectorReader(net.Conn) *vectorReader { return nil }
+
+func (v *vectorReader) readv([][]byte) (int, error) { return 0, nil }

@@ -1,0 +1,86 @@
+//go:build linux
+
+package tcpnic
+
+import (
+	"io"
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// vectorReader issues one readv(2) spanning interleaved frame headers and
+// payload buffers, collapsing the data-plane read syscalls: the classic
+// two-read frame decode (header, then payload) becomes a single scatter
+// read covering up to specMax predicted frames whenever the reader can
+// guess where the payloads belong. It integrates with the runtime poller
+// through syscall.RawConn, so a not-ready socket parks the goroutine
+// instead of spinning, and a concurrent Close unblocks it like any
+// net.Conn read.
+//
+// The iovec array and the fd callback live on the struct and are built
+// once, keeping the per-read path allocation-free.
+type vectorReader struct {
+	rc  syscall.RawConn
+	iov [2 * specMax]syscall.Iovec
+	cnt int
+	n   int
+	err error
+	fn  func(fd uintptr) bool
+}
+
+// newVectorReader returns nil when the connection cannot expose its fd
+// (in-memory pipes in tests); the reader then falls back to plain reads.
+func newVectorReader(conn net.Conn) *vectorReader {
+	sc, ok := conn.(syscall.Conn)
+	if !ok {
+		return nil
+	}
+	rc, err := sc.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	v := &vectorReader{rc: rc}
+	v.fn = func(fd uintptr) bool {
+		for {
+			n, _, errno := syscall.Syscall(syscall.SYS_READV, fd, uintptr(unsafe.Pointer(&v.iov[0])), uintptr(v.cnt))
+			switch errno {
+			case 0:
+				if n == 0 {
+					v.err = io.EOF
+				}
+				v.n = int(n)
+				return true
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // not ready: re-arm the poller and park
+			default:
+				v.err = errno
+				return true
+			}
+		}
+	}
+	return v
+}
+
+// readv scatters one read across segs in order, returning how many bytes
+// landed in total (possibly short — the kernel returns what is buffered, and
+// the count can stop anywhere in the layout). Every segment must be
+// non-empty and the list is bounded by the iovec array (2*specMax entries).
+func (v *vectorReader) readv(segs [][]byte) (int, error) {
+	for i, s := range segs {
+		v.iov[i].Base = &s[0]
+		v.iov[i].SetLen(len(s))
+	}
+	v.cnt = len(segs)
+	v.n, v.err = 0, nil
+	err := v.rc.Read(v.fn)
+	for i := range segs {
+		v.iov[i] = syscall.Iovec{}
+	}
+	if err != nil {
+		return 0, err
+	}
+	return v.n, v.err
+}

@@ -45,6 +45,7 @@ import (
 	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
 	"rdmc/internal/rdma/nicbase"
+	"rdmc/internal/rdma/shmnic"
 )
 
 const (
@@ -65,7 +66,7 @@ type Config struct {
 	Listener net.Listener
 	// Addrs maps node ids to listen addresses.
 	Addrs map[rdma.NodeID]string
-	// CompletionBuffer sizes the completion channel; zero selects 1024.
+	// CompletionBuffer sizes the completion ring; zero selects 1024.
 	CompletionBuffer int
 	// SocketBuffer sizes the kernel send and receive buffers of every
 	// queue-pair connection, on both the dial and accept paths. Zero (the
@@ -76,6 +77,13 @@ type Config struct {
 	// it explicitly for real networks whose bandwidth-delay product
 	// outgrows the autotuned window.
 	SocketBuffer int
+	// Intra, when non-nil, is the shared-memory domain of co-located
+	// providers: Connect calls whose peer is registered in the exchange
+	// produce in-process shared-memory endpoints instead of TCP
+	// connections, while remote peers keep using sockets. Every co-located
+	// provider must be constructed (registering itself) before any of them
+	// connects, so both sides of a pair route consistently.
+	Intra *shmnic.Exchange
 }
 
 // RecvCounters is a snapshot of the receive path's copy behavior: frames
@@ -96,17 +104,28 @@ type Provider struct {
 	pool nicbase.BufPool
 	wg   sync.WaitGroup
 
-	directFrames atomic.Uint64
-	stagedFrames atomic.Uint64
-	stagedBytes  atomic.Uint64
+	directFrames  atomic.Uint64
+	stagedFrames  atomic.Uint64
+	stagedBytes   atomic.Uint64
+	zeroCopySends atomic.Uint64
 
 	// Registry mirrors of the counters above plus the writer coalescing
 	// histogram; nil (the default) discards the updates. See SetObserver.
 	obsDirect      *obs.Counter
 	obsStaged      *obs.Counter
 	obsStagedBytes *obs.Counter
+	obsZeroCopy    *obs.Counter
 	obsCoalesce    *obs.Histogram
 }
+
+// ZeroCopySends returns how many frames the writers emitted referencing the
+// caller's memory directly (every non-virtual send and one-sided write).
+func (p *Provider) ZeroCopySends() uint64 { return p.zeroCopySends.Load() }
+
+// Pool exposes the provider's buffer pool so a co-hosted shared-memory
+// exchange (see package shmnic) can stage early arrivals through the same
+// size classes.
+func (p *Provider) Pool() *nicbase.BufPool { return &p.pool }
 
 // RecvStats returns the provider's receive-path copy counters.
 func (p *Provider) RecvStats() RecvCounters {
@@ -118,6 +137,7 @@ func (p *Provider) RecvStats() RecvCounters {
 }
 
 var _ rdma.Provider = (*Provider)(nil)
+var _ shmnic.Host = (*Provider)(nil)
 
 // New starts the provider: it begins accepting queue-pair connections and
 // dispatching completions immediately (the handler must be installed before
@@ -127,7 +147,13 @@ func New(cfg Config) (*Provider, error) {
 		return nil, fmt.Errorf("tcpnic: node %d needs a listener", cfg.NodeID)
 	}
 	p := &Provider{cfg: cfg}
-	p.Init(cfg.NodeID, nicbase.NewChannelCQ(cfg.CompletionBuffer))
+	p.Init(cfg.NodeID, nicbase.NewRingCQ(cfg.CompletionBuffer))
+	if cfg.Intra != nil {
+		if err := cfg.Intra.Register(p); err != nil {
+			p.CloseCQ()
+			return nil, err
+		}
+	}
 	p.wg.Add(1)
 	go p.accept()
 	return p, nil
@@ -137,6 +163,19 @@ func New(cfg Config) (*Provider, error) {
 // is dialed (or awaited) in the background and queued work requests flush
 // once it is up.
 func (p *Provider) Connect(peer rdma.NodeID, token uint64) (rdma.QueuePair, error) {
+	if ex := p.cfg.Intra; ex != nil && peer != p.cfg.NodeID && ex.Has(peer) {
+		// Co-located peer: the queue pair is a shared-memory endpoint, no
+		// socket. Pair is idempotent; whichever side connects second links
+		// the halves and flushes queued posts.
+		qp, _, err := p.EnsureQP(nicbase.QPKey{Peer: peer, Token: token}, func() rdma.QueuePair {
+			return ex.NewEndpoint(p, peer, token)
+		})
+		if err != nil {
+			return nil, err
+		}
+		ex.Pair(qp)
+		return qp, nil
+	}
 	qp, created, err := p.EnsureQP(nicbase.QPKey{Peer: peer, Token: token}, func() rdma.QueuePair {
 		return newQueuePair(p, peer, token)
 	})
@@ -172,6 +211,9 @@ func (p *Provider) Close() error {
 	}
 	p.CloseCQ()
 	p.wg.Wait()
+	if p.cfg.Intra != nil {
+		p.cfg.Intra.Deregister(p)
+	}
 	return err
 }
 
@@ -211,7 +253,14 @@ func (p *Provider) handleInbound(conn net.Conn) {
 		_ = conn.Close()
 		return
 	}
-	qp.(*queuePair).attach(conn)
+	tq, ok := qp.(*queuePair)
+	if !ok {
+		// The (peer, token) key is occupied by a non-TCP endpoint (an
+		// intra-host shared-memory pair): the socket has no one to serve.
+		_ = conn.Close()
+		return
+	}
+	tq.attach(conn)
 }
 
 // tuneConn applies the data-plane socket options. TCP_NODELAY keeps the

@@ -130,12 +130,18 @@ func (t *Table) Set(col uint, value uint64) error {
 	}
 	off := t.offset(t.rank, int(col))
 	binary.LittleEndian.PutUint64(t.local[off:], value)
+	// The pushed bytes are snapshotted rather than sliced out of t.local:
+	// providers reference a posted buffer zero-copy until the write
+	// completion fires, and a later Set of the same cell must not mutate
+	// bytes an in-flight push still owns.
+	push := make([]byte, 8)
+	binary.LittleEndian.PutUint64(push, value)
 	var firstErr error
 	for rank, qp := range t.qps {
 		if qp == nil {
 			continue
 		}
-		if err := qp.PostWrite(region(t.id), off, t.local[off:off+8], value); err != nil && firstErr == nil {
+		if err := qp.PostWrite(region(t.id), off, push, value); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("sst: push to rank %d: %w", rank, err)
 		}
 	}

@@ -268,6 +268,71 @@ func TestTCPLocalClusterEndToEnd(t *testing.T) {
 	}
 }
 
+// TestIntraHostLocalClusterEndToEnd runs the same multicast as the TCP
+// end-to-end test with the data plane moved to in-process shared memory
+// (WithIntraHost): block traffic between the co-located nodes crosses
+// shmnic endpoints, the control mesh stays on loopback TCP.
+func TestIntraHostLocalClusterEndToEnd(t *testing.T) {
+	nodes, err := rdmc.NewLocalCluster(4, rdmc.WithIntraHost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+
+	members := []int{0, 1, 2, 3}
+	msg := make([]byte, 3<<20)
+	rand.New(rand.NewSource(11)).Read(msg)
+
+	const msgs = 3
+	var (
+		mu       sync.Mutex
+		received = make(map[int][][]byte)
+		wg       sync.WaitGroup
+	)
+	wg.Add(4 * msgs)
+	var groups []*rdmc.Group
+	for i, n := range nodes {
+		i := i
+		g, err := n.CreateGroup(1, members, rdmc.GroupConfig{BlockSize: 256 << 10}, rdmc.Callbacks{
+			Incoming: func(size int) []byte { return make([]byte, size) },
+			Completion: func(seq int, data []byte, size int) {
+				mu.Lock()
+				received[i] = append(received[i], append([]byte(nil), data...))
+				mu.Unlock()
+				wg.Done()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups = append(groups, g)
+	}
+	for s := 0; s < msgs; s++ {
+		if err := groups[0].Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	waitTimeout(t, &wg, 20*time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < 4; i++ {
+		if len(received[i]) != msgs {
+			t.Errorf("node %d delivered %d of %d messages", i, len(received[i]), msgs)
+			continue
+		}
+		for s, got := range received[i] {
+			if !bytes.Equal(got, msg) {
+				t.Errorf("node %d message %d corrupt over shared memory", i, s)
+			}
+		}
+	}
+}
+
 func TestTCPMultipleMessagesAndCloseBarrier(t *testing.T) {
 	nodes, err := rdmc.NewLocalCluster(3)
 	if err != nil {

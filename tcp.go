@@ -8,6 +8,7 @@ import (
 	"rdmc/internal/core"
 	"rdmc/internal/mesh"
 	"rdmc/internal/rdma"
+	"rdmc/internal/rdma/shmnic"
 	"rdmc/internal/rdma/tcpnic"
 )
 
@@ -26,6 +27,14 @@ type TCPConfig struct {
 	// (see Observer). Pair it with Observer.Publish to serve live metrics
 	// over expvar.
 	Observer *Observer
+
+	// intra, when non-nil, is the shared-memory domain of co-located nodes:
+	// the data plane between nodes in the same domain moves through
+	// in-process memory copies instead of loopback sockets. Set by
+	// NewLocalCluster's WithIntraHost option — co-location is a
+	// single-process property, so it is not part of the multi-process
+	// configuration surface.
+	intra *shmnic.Exchange
 }
 
 // NewTCPNode starts an RDMC node over real TCP: it listens on its own
@@ -59,6 +68,7 @@ func newTCPNode(cfg TCPConfig, dataLn, ctrlLn net.Listener) (*Node, error) {
 		NodeID:   id,
 		Listener: dataLn,
 		Addrs:    toNodeAddrs(cfg.DataAddrs),
+		Intra:    cfg.intra,
 	})
 	if err != nil {
 		_ = dataLn.Close()
@@ -98,6 +108,7 @@ type ClusterOption func(*clusterOptions)
 
 type clusterOptions struct {
 	observer *Observer
+	intra    bool
 }
 
 // WithObserver instruments every node of the local cluster with one shared
@@ -105,6 +116,17 @@ type clusterOptions struct {
 // carry node ids).
 func WithObserver(ob *Observer) ClusterOption {
 	return func(o *clusterOptions) { o.observer = ob }
+}
+
+// WithIntraHost moves the cluster's data plane from loopback TCP to
+// in-process shared memory: all nodes of a local cluster are co-located by
+// construction, so their queue pairs become direct memory exchanges
+// (package shmnic) — one copy from the sender's buffer into the receiver's,
+// no kernel round trip. The control mesh stays on TCP. Listeners still open
+// (the address book is built the same way), they just never carry block
+// traffic.
+func WithIntraHost() ClusterOption {
+	return func(o *clusterOptions) { o.intra = true }
 }
 
 // NewLocalCluster starts n nodes over loopback TCP in one process, with
@@ -117,6 +139,14 @@ func NewLocalCluster(n int, opts ...ClusterOption) ([]*Node, error) {
 	var copts clusterOptions
 	for _, opt := range opts {
 		opt(&copts)
+	}
+	// One fresh domain per cluster keeps parallel clusters in one test
+	// process fully isolated. Providers register at construction, before
+	// NewLocalCluster returns — and therefore before any CreateGroup can
+	// connect — so every pair of nodes routes consistently.
+	var ex *shmnic.Exchange
+	if copts.intra {
+		ex = shmnic.NewExchange()
 	}
 	dataLns := make([]net.Listener, n)
 	ctrlLns := make([]net.Listener, n)
@@ -160,6 +190,7 @@ func NewLocalCluster(n int, opts ...ClusterOption) ([]*Node, error) {
 				DataAddrs: dataAddrs,
 				CtrlAddrs: ctrlAddrs,
 				Observer:  copts.observer,
+				intra:     ex,
 			}, dataLns[i], ctrlLns[i])
 			if err != nil {
 				errs <- fmt.Errorf("rdmc: node %d: %w", i, err)
