@@ -34,7 +34,9 @@ bench-json:
 # (pass BENCHCMP_FLAGS='-fail-over 30' to make it gate).
 bench-compare:
 	$(GO) test -run xxx -bench 'BenchmarkSendWindow' -benchtime 5x -count 1 . | tee bench_new.txt
-	$(GO) run ./cmd/benchcmp -old BENCH_sendwindow.json -new bench_new.txt -filter BenchmarkSendWindow $(BENCHCMP_FLAGS) | tee bench_compare.txt
+	$(GO) run ./cmd/benchcmp -old BENCH_sendwindow.json -new bench_new.txt -filter BenchmarkSendWindow \
+		-json bench_delta.json -trajectory BENCH_trajectory.json -label "$$(git rev-parse --short HEAD 2>/dev/null || echo local)" \
+		$(BENCHCMP_FLAGS) | tee bench_compare.txt
 
 # Golden regression gate: regenerate the pinned quick-scale datasets in
 # memory and fail on any divergence. `make golden-record` refreshes the

@@ -53,6 +53,9 @@ func BenchmarkRecvWindowAblation(b *testing.B) {
 	benchExperiment(b, "window")
 }
 func BenchmarkFailover(b *testing.B) { benchExperiment(b, "failover") }
+func BenchmarkAdaptiveScheduling(b *testing.B) {
+	benchExperiment(b, "adaptive")
+}
 
 // --- micro-benchmarks of the library's hot paths ---
 

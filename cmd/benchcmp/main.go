@@ -14,10 +14,17 @@
 // Usage:
 //
 //	benchcmp -old BENCH_sendwindow.json -new bench_new.txt [-filter regexp] [-fail-over pct]
+//	         [-json delta.json] [-trajectory BENCH_trajectory.json] [-label v1.2]
 //
 // With -fail-over N the exit status is 1 when any benchmark's time/op
 // regressed by more than N percent — leave it unset (0) for report-only use
 // in CI.
+//
+// -json writes the same comparison as a machine-readable document beside
+// the text table; -trajectory appends that document as one record to a
+// growing JSON-array log (created if missing), which is how the committed
+// BENCH_trajectory.json accumulates a release-over-release performance
+// history that tooling can plot without scraping tables.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // result aggregates every sample of one benchmark name.
@@ -154,6 +162,49 @@ func parseBenchLine(line string) (string, *result, bool) {
 	return r.name, r, true
 }
 
+// deltaEntry is one benchmark's comparison in the machine-readable output.
+// Pointer fields are null when the side is missing (status "gone"/"new").
+type deltaEntry struct {
+	Name        string   `json:"name"`
+	Status      string   `json:"status"` // "compared", "gone", or "new"
+	OldNsOp     *float64 `json:"old_ns_op,omitempty"`
+	NewNsOp     *float64 `json:"new_ns_op,omitempty"`
+	DeltaPct    *float64 `json:"delta_pct,omitempty"`
+	OldAllocsOp *float64 `json:"old_allocs_op,omitempty"`
+	NewAllocsOp *float64 `json:"new_allocs_op,omitempty"`
+}
+
+// deltaReport is the machine-readable form of one benchcmp run — the -json
+// document and the record -trajectory appends.
+type deltaReport struct {
+	Label      string       `json:"label,omitempty"`
+	RecordedAt string       `json:"recorded_at"`
+	Old        string       `json:"old"`
+	New        string       `json:"new"`
+	Benchmarks []deltaEntry `json:"benchmarks"`
+}
+
+// appendTrajectory adds one record to a JSON-array log file, creating the
+// file when absent. The whole array is rewritten — the log is small (one
+// record per release) and staying a valid JSON document beats an
+// append-only format that needs custom framing.
+func appendTrajectory(path string, rec deltaReport) error {
+	var records []deltaReport
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("existing %s is not a benchcmp trajectory: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	records = append(records, rec)
+	out, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
 func fmtNs(ns float64) string {
 	switch {
 	case ns >= 1e9:
@@ -179,6 +230,9 @@ func main() {
 	newPath := flag.String("new", "", "fresh results to compare (bench text or test2json)")
 	filter := flag.String("filter", "", "only compare benchmarks matching this regexp")
 	failOver := flag.Float64("fail-over", 0, "exit 1 if any time/op regression exceeds this percentage (0 = report only)")
+	jsonPath := flag.String("json", "", "also write the comparison as JSON to this file")
+	trajectory := flag.String("trajectory", "", "append the comparison to this JSON-array trajectory log")
+	label := flag.String("label", "", "label for the JSON/trajectory record (e.g. a version or commit)")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcmp: -new is required")
@@ -223,6 +277,7 @@ func main() {
 	fmt.Fprintf(w, "%-55s %12s %12s %9s %14s %9s\n", "benchmark", "old time/op", "new time/op", "delta", "allocs/op", "delta")
 	var worst float64
 	var worstName string
+	var entries []deltaEntry
 	rows := 0
 	for _, name := range names {
 		if re != nil && !re.MatchString(name) {
@@ -243,13 +298,21 @@ func main() {
 			na, _ := mean(n.allocOp)
 			fmt.Fprintf(w, "%-55s %12s %12s %9s %6.0f → %5.0f %9s\n",
 				name, fmtNs(oldNs), fmtNs(newNs), fmtDelta(oldNs, newNs), oa, na, fmtDelta(oa, na))
-			if d := (newNs - oldNs) / oldNs * 100; d > worst {
+			d := (newNs - oldNs) / oldNs * 100
+			if d > worst {
 				worst, worstName = d, name
 			}
+			entries = append(entries, deltaEntry{
+				Name: name, Status: "compared",
+				OldNsOp: &oldNs, NewNsOp: &newNs, DeltaPct: &d,
+				OldAllocsOp: &oa, NewAllocsOp: &na,
+			})
 		case hasOld:
 			fmt.Fprintf(w, "%-55s %12s %12s %9s\n", name, fmtNs(oldNs), "-", "gone")
+			entries = append(entries, deltaEntry{Name: name, Status: "gone", OldNsOp: &oldNs})
 		case hasNew:
 			fmt.Fprintf(w, "%-55s %12s %12s %9s\n", name, "-", fmtNs(newNs), "new")
+			entries = append(entries, deltaEntry{Name: name, Status: "new", NewNsOp: &newNs})
 		default:
 			continue
 		}
@@ -257,6 +320,33 @@ func main() {
 	}
 	if rows == 0 {
 		fmt.Fprintln(w, "(no benchmarks matched)")
+	}
+	if *jsonPath != "" || *trajectory != "" {
+		rec := deltaReport{
+			Label:      *label,
+			RecordedAt: time.Now().UTC().Format(time.RFC3339),
+			Old:        *oldPath,
+			New:        *newPath,
+			Benchmarks: entries,
+		}
+		if *jsonPath != "" {
+			out, err := json.MarshalIndent(rec, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*jsonPath, append(out, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchcmp: write %s: %v\n", *jsonPath, err)
+				w.Flush()
+				os.Exit(2)
+			}
+		}
+		if *trajectory != "" {
+			if err := appendTrajectory(*trajectory, rec); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+				w.Flush()
+				os.Exit(2)
+			}
+		}
 	}
 	if *failOver > 0 && worst > *failOver {
 		fmt.Fprintf(w, "\nFAIL: %s regressed %.2f%% (threshold %.2f%%)\n", worstName, worst, *failOver)

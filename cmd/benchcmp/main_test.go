@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -140,5 +141,45 @@ func TestFmtDelta(t *testing.T) {
 	}
 	if got := fmtDelta(0, 80); got != "n/a" {
 		t.Errorf("fmtDelta zero-old = %q", got)
+	}
+}
+
+func TestAppendTrajectoryCreatesAndAppends(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "trajectory.json")
+	f := func(v float64) *float64 { return &v }
+	first := deltaReport{
+		Label: "r1", RecordedAt: "2026-08-08T00:00:00Z", Old: "a.json", New: "b.txt",
+		Benchmarks: []deltaEntry{{Name: "BenchmarkA", Status: "compared", OldNsOp: f(100), NewNsOp: f(90), DeltaPct: f(-10)}},
+	}
+	if err := appendTrajectory(p, first); err != nil {
+		t.Fatal(err)
+	}
+	second := deltaReport{Label: "r2", RecordedAt: "2026-08-08T01:00:00Z", Old: "a.json", New: "c.txt"}
+	if err := appendTrajectory(p, second); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []deltaReport
+	if err := json.Unmarshal(raw, &records); err != nil {
+		t.Fatalf("trajectory is not a JSON array of reports: %v", err)
+	}
+	if len(records) != 2 || records[0].Label != "r1" || records[1].Label != "r2" {
+		t.Fatalf("records = %+v", records)
+	}
+	if len(records[0].Benchmarks) != 1 || *records[0].Benchmarks[0].DeltaPct != -10 {
+		t.Fatalf("first record lost its benchmark entries: %+v", records[0])
+	}
+	if raw[len(raw)-1] != '\n' {
+		t.Error("trajectory file missing trailing newline")
+	}
+}
+
+func TestAppendTrajectoryRejectsNonArrayFile(t *testing.T) {
+	p := writeTemp(t, "not-a-trajectory.json", `{"label":"x"}`)
+	if err := appendTrajectory(p, deltaReport{Label: "r"}); err == nil {
+		t.Fatal("appendTrajectory accepted a non-array file")
 	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -113,6 +114,41 @@ func TestFastExperimentsProduceRows(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestAdaptiveExperimentInvariants runs the adaptive experiment end to end
+// and checks the properties the adaptive planner is sold on: with no foreign
+// traffic its row is cell-for-cell the static hybrid's (mask 0 is the same
+// plan), and under both contended configs it is at least as fast as the best
+// static schedule.
+func TestAdaptiveExperimentInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-scale experiment still multicasts 64 MB twelve times")
+	}
+	rep := AdaptiveScheduling(Quick)
+	if len(rep.Rows) != 3 || len(rep.Columns) != 6 {
+		t.Fatalf("report shape = %d rows × %d cols, want 3 × 6", len(rep.Rows), len(rep.Columns))
+	}
+	cell := func(row []string, i int) float64 {
+		v, err := strconv.ParseFloat(row[i], 64)
+		if err != nil {
+			t.Fatalf("cell %q: %v", row[i], err)
+		}
+		return v
+	}
+	// Columns: config, chain, pipeline, hybrid, adaptive, adaptive/best-static.
+	if un := rep.Rows[0]; un[4] != un[3] {
+		t.Errorf("uncontended adaptive %s Gb/s != static hybrid %s Gb/s", un[4], un[3])
+	}
+	for _, row := range rep.Rows[1:] {
+		adaptive := cell(row, 4)
+		for i := 1; i <= 3; i++ {
+			if static := cell(row, i); adaptive < static {
+				t.Errorf("%s: adaptive %.1f Gb/s loses to %s (%.1f Gb/s)",
+					row[0], adaptive, rep.Columns[i], static)
+			}
+		}
 	}
 }
 

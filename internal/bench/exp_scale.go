@@ -31,8 +31,8 @@ func Fig8Scalability(scale Scale) Report {
 		if err != nil {
 			panic(fmt.Sprintf("bench: fig8: %v", err))
 		}
-		seq := replayStream(cfg, stream, schedule.Sequential).lastDone
-		bin := replayStream(cfg, stream, schedule.BinomialPipeline).lastDone
+		seq := replayStream(cfg, stream, staticSpec(schedule.Sequential)).lastDone
+		bin := replayStream(cfg, stream, staticSpec(schedule.BinomialPipeline)).lastDone
 		r.Rows = append(r.Rows, []string{
 			fmt.Sprintf("%d", n), ms(seq), ms(bin), f1(seq / bin),
 		})
@@ -65,9 +65,9 @@ func Fig9Cosmos(scale Scale) Report {
 	if err != nil {
 		panic(fmt.Sprintf("bench: fig9: %v", err))
 	}
-	results := make(map[schedule.Algorithm]streamResult, len(algos))
-	for _, a := range algos {
-		results[a] = replayStream(cfg, stream, a)
+	results := make(map[string]streamResult, len(algos))
+	for _, spec := range algos {
+		results[spec.name] = replayStream(cfg, stream, spec)
 	}
 
 	r := Report{
@@ -77,18 +77,18 @@ func Fig9Cosmos(scale Scale) Report {
 			"sequential send; ≈93 Gb/s replicated with binomial pipeline (≈1 PB/day)",
 		Columns: []string{"algorithm", "p10", "p25", "p50", "p75", "p90", "p99", "mean", "agg Gb/s"},
 	}
-	for _, a := range algos {
-		res := results[a]
+	for _, spec := range algos {
+		res := results[spec.name]
 		cells, mean := latencyStats(res.latencies, []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99})
-		r.Rows = append(r.Rows, append(append([]string{a.String()}, cells...),
+		r.Rows = append(r.Rows, append(append([]string{spec.name}, cells...),
 			ms(mean), f1(gbps(res.bytes, res.elapsed))))
 	}
 	mean := func(a schedule.Algorithm) float64 {
 		var sum float64
-		for _, l := range results[a].latencies {
+		for _, l := range results[a.String()].latencies {
 			sum += l
 		}
-		return sum / float64(len(results[a].latencies))
+		return sum / float64(len(results[a.String()].latencies))
 	}
 	r.Notes = append(r.Notes,
 		fmt.Sprintf("mean latency: binomial pipeline is %.1f× faster than binomial tree, %.1f× faster than sequential",

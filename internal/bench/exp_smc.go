@@ -125,6 +125,6 @@ func rdmcSmallRun(n, size, count int) float64 {
 	if err != nil {
 		panic(fmt.Sprintf("bench: smc: %v", err))
 	}
-	res := replayStream(cfg, stream, schedule.BinomialPipeline)
+	res := replayStream(cfg, stream, staticSpec(schedule.BinomialPipeline))
 	return float64(count) / res.lastDone
 }

@@ -16,10 +16,10 @@ import (
 const DefaultGoldenDir = "testdata/golden"
 
 // goldenExperiments are the scenario-backed experiments whose quick-scale
-// reports the golden harness pins. All four replay deterministic virtual-
+// reports the golden harness pins. All of them replay deterministic virtual-
 // time workloads, so their rendered rows are byte-stable across runs,
 // machines, and -race.
-var goldenExperiments = []string{"fig8", "fig9", "smc", "failover"}
+var goldenExperiments = []string{"fig8", "fig9", "smc", "failover", "adaptive"}
 
 // goldenEntry is one pinned dataset: a file name under the golden
 // directory and the renderer that regenerates its contents.

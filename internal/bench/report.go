@@ -104,6 +104,7 @@ func Experiments() map[string]Runner {
 		"slowlink": SlowLink,
 		"delay":    DelayRobustness,
 		"hybrid":   HybridTopology,
+		"adaptive": AdaptiveScheduling,
 		"smc":      SmallMessages,
 		"window":   RecvWindowAblation,
 		"failover": Failover,
@@ -115,7 +116,7 @@ func Order() []string {
 	return []string{
 		"fig4a", "fig4b", "table1", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10a", "fig10b", "fig11", "fig12",
-		"slack", "slowlink", "delay", "hybrid", "smc", "window",
+		"slack", "slowlink", "delay", "hybrid", "adaptive", "smc", "window",
 		"failover",
 	}
 }

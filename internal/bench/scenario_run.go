@@ -45,19 +45,62 @@ func algorithmByName(name string) (schedule.Algorithm, error) {
 	return 0, fmt.Errorf("bench: unknown algorithm %q", name)
 }
 
-// replayAlgorithms resolves the scenario's algorithm list (default:
-// binomial pipeline only).
-func replayAlgorithms(cfg scenario.Config) ([]schedule.Algorithm, error) {
-	if len(cfg.Replay.Algorithms) == 0 {
-		return []schedule.Algorithm{schedule.BinomialPipeline}, nil
+// replaySpec is one resolved entry of the scenario's algorithm list. The
+// rack-aware generators (hybrid, adaptive) need a per-group rack layout, so
+// resolution yields a factory rather than a generator: make receives the
+// group's member node ids and the cluster model and derives RackOf from the
+// cluster's rack granularity (nil on flat fabrics, which the adaptive
+// planner accepts and the hybrid rejects at group creation).
+type replaySpec struct {
+	name string
+	make func(set []int, cluster simnet.ClusterConfig) schedule.Generator
+}
+
+func staticSpec(a schedule.Algorithm) replaySpec {
+	return replaySpec{
+		name: a.String(),
+		make: func([]int, simnet.ClusterConfig) schedule.Generator { return schedule.New(a) },
 	}
-	out := make([]schedule.Algorithm, len(cfg.Replay.Algorithms))
-	for i, name := range cfg.Replay.Algorithms {
-		a, err := algorithmByName(name)
-		if err != nil {
-			return nil, err
+}
+
+func rackedSpec(name string) replaySpec {
+	return replaySpec{
+		name: name,
+		make: func(set []int, cluster simnet.ClusterConfig) schedule.Generator {
+			var rackOf []int
+			if cluster.RackSize > 0 {
+				rackOf = make([]int, len(set))
+				for i, m := range set {
+					rackOf[i] = m / cluster.RackSize
+				}
+			}
+			if name == "adaptive" {
+				return schedule.AdaptiveGen{RackOf: rackOf}
+			}
+			return schedule.HybridGen{RackOf: rackOf}
+		},
+	}
+}
+
+// replayAlgorithms resolves the scenario's algorithm list (default:
+// binomial pipeline only). Beside the static schedule names, "hybrid" and
+// "adaptive" select the rack-aware generators.
+func replayAlgorithms(cfg scenario.Config) ([]replaySpec, error) {
+	if len(cfg.Replay.Algorithms) == 0 {
+		return []replaySpec{staticSpec(schedule.BinomialPipeline)}, nil
+	}
+	out := make([]replaySpec, 0, len(cfg.Replay.Algorithms))
+	for _, name := range cfg.Replay.Algorithms {
+		switch name {
+		case "hybrid", "adaptive":
+			out = append(out, rackedSpec(name))
+		default:
+			a, err := algorithmByName(name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, staticSpec(a))
 		}
-		out[i] = a
 	}
 	return out, nil
 }
@@ -128,12 +171,25 @@ func scenarioGroups(cfg scenario.Config, stream *scenario.Stream) [][]int {
 // enumeration when feasible), then events are issued by the scenario's
 // arrival process — closed-loop slots, paced timers, or Poisson timers —
 // with per-write delivery accounting in virtual time.
-func replayStream(cfg scenario.Config, stream *scenario.Stream, algo schedule.Algorithm) streamResult {
+func replayStream(cfg scenario.Config, stream *scenario.Stream, spec replaySpec) streamResult {
 	cluster, err := resolveCluster(cfg.Replay.Cluster, cfg.Nodes)
 	if err != nil {
 		panic(fmt.Sprintf("bench: scenario %s: %v", cfg.Name, err))
 	}
 	d := deploy(cluster, false)
+	for _, ct := range cfg.CrossTraffic {
+		streams := ct.Streams
+		if streams == 0 {
+			streams = 1
+		}
+		chunk := float64(ct.ChunkBytes)
+		if chunk == 0 {
+			chunk = 8 * mib
+		}
+		for s := 0; s < streams; s++ {
+			crossStream(d, ct.From, ct.To, chunk, ct.StartSec, ct.StopSec)
+		}
+	}
 	blockBytes := cfg.Replay.BlockBytes
 	if blockBytes == 0 {
 		blockBytes = mib
@@ -171,7 +227,7 @@ func replayStream(cfg scenario.Config, stream *scenario.Stream, algo schedule.Al
 		for _, m := range members {
 			gc := core.GroupConfig{
 				BlockSize:  blockBytes,
-				Generator:  schedule.New(algo),
+				Generator:  spec.make(set, cluster),
 				SendWindow: cfg.Replay.SendWindow,
 				RecvWindow: cfg.Replay.RecvWindow,
 				Callbacks: core.Callbacks{
@@ -322,8 +378,8 @@ func RunScenario(cfg scenario.Config, scale Scale) Report {
 			"algorithm", "tenant", "writes", "p50", "p90", "p99", "mean ms", "agg Gb/s",
 		},
 	}
-	for _, algo := range algos {
-		res := replayStream(cfg, stream, algo)
+	for _, spec := range algos {
+		res := replayStream(cfg, stream, spec)
 		row := func(tenant string, lats []float64, bytes float64) {
 			cells, mean := latencyStats(lats, []float64{0.50, 0.90, 0.99})
 			label := tenant
@@ -331,7 +387,7 @@ func RunScenario(cfg scenario.Config, scale Scale) Report {
 				label = "all"
 			}
 			r.Rows = append(r.Rows, append(append([]string{
-				algo.String(), label, fmt.Sprintf("%d", len(lats)),
+				spec.name, label, fmt.Sprintf("%d", len(lats)),
 			}, cells...), ms(mean), f1(gbps(bytes, res.elapsed))))
 		}
 		row("", res.latencies, res.bytes)

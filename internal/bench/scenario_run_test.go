@@ -57,7 +57,7 @@ func TestRunScenarioCosmosMatchesFig9(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct := replayStream(cfg, stream, schedule.BinomialPipeline)
+	direct := replayStream(cfg, stream, staticSpec(schedule.BinomialPipeline))
 
 	rep := RunScenario(scenario.Cosmos(), Quick)
 	var row []string

@@ -51,6 +51,7 @@ import (
 	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
 	"rdmc/internal/rdma/nicbase"
+	"rdmc/internal/schedule"
 )
 
 // GroupID identifies an RDMC group; all members use the same number, as in
@@ -84,6 +85,20 @@ const (
 	CtrlCloseAck
 	// CtrlDestroyed finalizes a successful close: members tear down.
 	CtrlDestroyed
+	// CtrlReplanFreeze opens the adaptive mid-transfer re-plan barrier: the
+	// root asks every member to stop advancing its receive window for the
+	// sequence and report the highest block it has posted a receive for.
+	CtrlReplanFreeze
+	// CtrlReplanAck answers the freeze: Block is the highest posted-recv
+	// block (-1 if none) and OK is true while the transfer is still active
+	// locally; OK false means the member already completed it.
+	CtrlReplanAck
+	// CtrlReplanCommit commits the cutover: blocks at and above Block move
+	// to the plan selected by Mask; blocks below finish under the old plan.
+	CtrlReplanCommit
+	// CtrlReplanResume abandons an opened freeze barrier (too few blocks
+	// remained past it): members resume their receive windows unchanged.
+	CtrlReplanResume
 )
 
 // CtrlMsg is one control-plane message. Fields beyond Kind and Group are
@@ -103,6 +118,14 @@ type CtrlMsg struct {
 	// which (Round, Block) is the first. Zero means one (a legacy
 	// single-block notice).
 	Count int
+	// Mask carries the adaptive contention bucket: on CtrlPrepare the mask
+	// the root planned the transfer under, on CtrlReplanCommit the mask the
+	// remaining blocks cut over to. Zero (the static case) selects the
+	// group's configured plan unchanged.
+	Mask uint64
+	// BS is the per-transfer block size on CtrlPrepare; zero means the
+	// group's configured block size (the static case).
+	BS int
 }
 
 // Control is the out-of-band channel the engine uses for smalls: the
@@ -159,7 +182,26 @@ type Engine struct {
 	// eobs is the engine's observability sink; nil (the default) disables
 	// all instrumentation. Installed via SetObserver before any activity.
 	eobs *engineObs
+
+	// sampler, when non-nil, snapshots fabric contention for adaptive
+	// groups (see ContentionSampler). Installed before any activity via
+	// SetContentionSampler; nil leaves adaptive groups permanently on
+	// their uncontended (mask 0) plan.
+	sampler ContentionSampler
 }
+
+// ContentionSampler provides a point-in-time snapshot of fabric contention
+// — per-rack trunk pressure and per-NIC concurrent-flow counts — for the
+// adaptive planner. The simulated host implements it over simnet's fluid
+// model; transports with no fabric introspection leave it uninstalled.
+type ContentionSampler interface {
+	SampleContention() schedule.Contention
+}
+
+// SetContentionSampler installs (or, with nil, removes) the engine's fabric
+// contention source. Like SetObserver it must be called before any group
+// activity: the pointer is read without synchronization on planning paths.
+func (e *Engine) SetContentionSampler(s ContentionSampler) { e.sampler = s }
 
 // NewEngine wires an engine to its node-local services and installs the
 // completion and control handlers.

@@ -83,7 +83,20 @@ type Group struct {
 	// a cumulative count is enough to agree on which blocks are licensed,
 	// and counts let receivers batch several notices into one message.
 	readyCounts map[readyKey]int
-	planCache   map[int]schedule.NodePlan
+	planCache   map[planCacheKey]schedule.NodePlan
+
+	// Adaptive scheduling state (see replan.go). lastMask is the root's
+	// previous plan decision, fed back into the hysteresis; earlyReady
+	// buffers continuation ReceiverReady notices from members whose old
+	// phase quiesced before the root's own; the stall/post counters feed
+	// the credit-stall component of the contention signal (sampled as a
+	// delta, hence the last* shadows).
+	lastMask        uint64
+	earlyReady      map[int]map[int]bool
+	stallCredit     uint64
+	postedSends     uint64
+	lastStallCredit uint64
+	lastPostedSends uint64
 
 	// Notice deferral: while a completion batch is being processed (see
 	// Engine.onCompletionBatch), outbound ready-for-block notices merge
@@ -125,9 +138,11 @@ const (
 )
 
 type pendingMsg struct {
-	seq  int
-	size int64
-	buf  rdma.Buffer // root side only
+	seq       int
+	size      int64
+	buf       rdma.Buffer // root side only
+	mask      uint64      // adaptive contention bucket (0 = static plan)
+	blockSize int         // per-transfer block size (0 = configured)
 }
 
 // CreateGroup creates the local endpoint of a group. Every member must call
@@ -360,6 +375,11 @@ func (g *Group) Wedge() DrainState {
 	}
 	if g.current != nil {
 		ds.InFlightSeq = g.current.seq
+		if g.current.orig != nil {
+			// A continuation is in flight: the membership layer knows the
+			// message by its original sequence.
+			ds.InFlightSeq = g.current.orig.seq
+		}
 	}
 	for _, p := range g.pending {
 		ps := PendingSend{Seq: p.seq, Size: p.size}
@@ -517,11 +537,31 @@ func (g *Group) onCtrlLocked(from rdma.NodeID, m CtrlMsg) []func() {
 		if g.state != stateActive || g.rank == 0 {
 			return nil
 		}
-		g.pending = append(g.pending, pendingMsg{seq: m.Seq, size: m.Size})
+		g.pending = append(g.pending, pendingMsg{seq: m.Seq, size: m.Size, mask: m.Mask, blockSize: m.BS})
 		return g.maybeStartNextLocked()
 
 	case CtrlReceiverReady:
-		if g.current == nil || g.current.seq != m.Seq || g.rank != 0 {
+		if g.rank != 0 {
+			return nil
+		}
+		if g.current == nil || g.current.seq != m.Seq {
+			if m.Seq&contSeqTag != 0 && g.state == stateActive {
+				// A member's old phase can quiesce — and its continuation
+				// report ready — before the root's own quiesce starts the
+				// continuation locally. Buffer the readiness; the root
+				// replays it when its continuation begins.
+				if r := g.rankOf(from); r > 0 {
+					if g.earlyReady == nil {
+						g.earlyReady = make(map[int]map[int]bool)
+					}
+					set := g.earlyReady[m.Seq]
+					if set == nil {
+						set = make(map[int]bool)
+						g.earlyReady[m.Seq] = set
+					}
+					set[r] = true
+				}
+			}
 			return nil
 		}
 		return g.current.receiverReadyLocked(g.rankOf(from))
@@ -588,6 +628,18 @@ func (g *Group) onCtrlLocked(from rdma.NodeID, m CtrlMsg) []func() {
 		}
 		return nil
 
+	case CtrlReplanFreeze:
+		return g.onReplanFreezeLocked(m)
+
+	case CtrlReplanAck:
+		return g.onReplanAckLocked(from, m)
+
+	case CtrlReplanCommit:
+		return g.onReplanCommitLocked(m)
+
+	case CtrlReplanResume:
+		return g.onReplanResumeLocked(m)
+
 	default:
 		return nil
 	}
@@ -623,6 +675,9 @@ func (g *Group) maybeStartNextLocked() []func() {
 	g.pending = g.pending[1:]
 	if g.rank != 0 && next.seq >= g.seq {
 		g.seq = next.seq + 1
+	}
+	if g.rank == 0 {
+		g.decideAdaptiveLocked(&next)
 	}
 	tr := newTransfer(g, next)
 	g.current = tr

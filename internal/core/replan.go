@@ -1,0 +1,333 @@
+package core
+
+import (
+	"rdmc/internal/obs"
+	"rdmc/internal/rdma"
+	"rdmc/internal/schedule"
+)
+
+// Mid-transfer re-planning. When the contention signal shifts past the
+// adaptive policy's hysteresis while a large transfer is in flight, the root
+// can switch the remaining blocks to a plan built for the new conditions
+// instead of riding the stale one to completion. The cutover reuses the
+// wedge/epoch discipline from the membership layer, scoped to one transfer:
+//
+//  1. Freeze. The root floods CtrlReplanFreeze. Each member freezes its
+//     receive-window advance and acks the highest block number it has posted
+//     a receive for (or OK=false if the transfer already completed locally).
+//  2. Barrier. The root computes the cutover boundary B = 1 + the maximum
+//     acked high-water mark (including its own send high-water). Because a
+//     send is only ever licensed by a posted receive, every send in flight is
+//     for a block below B — nothing already on the wire crosses the boundary.
+//  3. Commit or resume. If fewer than MinReplanBlocks remain past B the root
+//     floods CtrlReplanResume and everyone carries on under the old plan
+//     (one attempt per transfer, so a borderline signal cannot thrash).
+//     Otherwise the root floods CtrlReplanCommit{Block: B, Mask} and every
+//     member truncates its current plan at B: schedule entries for blocks
+//     ≥ B complete without posting memory or consuming credit, symmetrically
+//     on both ends of each link, so cumulative credit per (sender, receiver)
+//     pair stays in agreement.
+//  4. Continuation. When a member's truncated phase quiesces (all kept
+//     receives arrived, all kept sends completed), it locally starts a
+//     continuation transfer for blocks B..k-1 under the committed mask,
+//     addressed by the original sequence tagged with contSeqTag. No prepare
+//     round is needed — the commit message carried everything — but the
+//     root still gates its first continuation send on every member's
+//     ReceiverReady, preserving the §2 start barrier. The continuation
+//     delivers under the original sequence, size, and buffer, so the
+//     application never observes the split.
+type replanState struct {
+	mask    uint64       // proposed contention bucket
+	acks    map[int]bool // member ranks that answered the freeze
+	highest int          // max acked posted-receive block (and root send high-water)
+}
+
+// origMsg names the original message a continuation transfer completes.
+type origMsg struct {
+	seq  int
+	size int64
+	buf  rdma.Buffer
+}
+
+// contSeqTag marks a continuation sequence number. Application sequences are
+// far below it (the engine would refuse a 2^30-message backlog long before),
+// so tagged and untagged sequences never collide in the 32-bit wire field.
+const contSeqTag = 1 << 30
+
+// decideAdaptiveLocked is the root's per-transfer plan decision: sample the
+// contention signal, quantize it through the generator's hysteresis, and pin
+// the resulting mask and block size into the pending message so every member
+// plans from the same decision. Static generators leave the message untouched.
+func (g *Group) decideAdaptiveLocked(pm *pendingMsg) {
+	ap, ok := g.cfg.Generator.(schedule.AdaptivePlanner)
+	if !ok {
+		return
+	}
+	c, ok := g.sampleContentionLocked()
+	if !ok {
+		return
+	}
+	mask := ap.DecideMask(c, g.lastMask)
+	g.lastMask = mask
+	pm.mask = mask
+	pm.blockSize = ap.AdaptiveBlockSize(g.cfg.BlockSize, mask)
+	g.obsEvent(obs.EvContentionSample, pm.seq, -1, -1, int64(mask))
+}
+
+// sampleContentionLocked reads the engine's contention sampler and folds in
+// the group-local credit-stall ratio (the fraction of send-pump passes since
+// the previous sample that blocked on missing receiver credit).
+func (g *Group) sampleContentionLocked() (schedule.Contention, bool) {
+	s := g.engine.sampler
+	if s == nil {
+		return schedule.Contention{}, false
+	}
+	c := s.SampleContention()
+	ds := g.stallCredit - g.lastStallCredit
+	dp := g.postedSends - g.lastPostedSends
+	g.lastStallCredit, g.lastPostedSends = g.stallCredit, g.postedSends
+	if ds+dp > 0 {
+		c.CreditStall = float64(ds) / float64(ds+dp)
+	}
+	return c, true
+}
+
+// maybeReplanLocked is the root's re-plan trigger, probed after send
+// completions. It opens the freeze barrier at most once per transfer, and
+// only when enough blocks remain for the cutover to pay for its two control
+// round trips.
+func (g *Group) maybeReplanLocked() {
+	t := g.current
+	if g.rank != 0 || t == nil || !t.started || t.frozen || t.cutoff > 0 ||
+		t.replan != nil || t.replanTried || t.orig != nil || len(g.members) < 2 {
+		return
+	}
+	ap, ok := g.cfg.Generator.(schedule.AdaptivePlanner)
+	if !ok {
+		return
+	}
+	replan, minBlocks := ap.ReplanPolicy()
+	if !replan {
+		return
+	}
+	// Blocks the root has already pushed out can never move; if too few
+	// remain even before the barrier, skip the sample entirely.
+	if t.k-(t.maxSentBlock+1) < minBlocks {
+		return
+	}
+	c, ok := g.sampleContentionLocked()
+	if !ok {
+		return
+	}
+	mask := ap.DecideMask(c, t.mask)
+	if mask == t.mask {
+		return
+	}
+	t.replanTried = true
+	t.replan = &replanState{
+		mask:    mask,
+		acks:    make(map[int]bool, len(g.members)-1),
+		highest: t.maxSentBlock,
+	}
+	g.lastMask = mask
+	if eo := g.engine.eobs; eo != nil {
+		eo.replanTry.Inc()
+	}
+	g.obsEvent(obs.EvReplanFreeze, t.seq, -1, -1, int64(mask))
+	for rank := 1; rank < len(g.members); rank++ {
+		g.ctrlTo(rank, CtrlMsg{Kind: CtrlReplanFreeze, Group: g.id, Seq: t.seq, Mask: mask})
+	}
+}
+
+// onReplanFreezeLocked is the member's half of the barrier: stop advancing
+// the receive window and report the highest block a receive has been posted
+// for. A transfer that already completed locally (or never matched) answers
+// OK=false; the root then sees a high-water of k-1 and is forced to abort,
+// which is the only safe answer once any member may have delivered.
+func (g *Group) onReplanFreezeLocked(m CtrlMsg) []func() {
+	if g.rank == 0 {
+		return nil
+	}
+	t := g.current
+	if g.state != stateActive || t == nil || t.seq != m.Seq {
+		g.ctrlTo(0, CtrlMsg{Kind: CtrlReplanAck, Group: g.id, Seq: m.Seq, Block: -1})
+		return nil
+	}
+	t.frozen = true
+	hi := -1
+	for i := 0; i < t.recvPosted; i++ {
+		if b := t.np.Recvs[i].Block; b > hi {
+			hi = b
+		}
+	}
+	g.ctrlTo(0, CtrlMsg{Kind: CtrlReplanAck, Group: g.id, Seq: m.Seq, Block: hi, OK: true})
+	return nil
+}
+
+// onReplanAckLocked collects freeze acks on the root and, when the barrier
+// completes, either commits the cutover or resumes the old plan.
+func (g *Group) onReplanAckLocked(from rdma.NodeID, m CtrlMsg) []func() {
+	t := g.current
+	if g.rank != 0 || t == nil || t.replan == nil || t.seq != m.Seq {
+		return nil
+	}
+	r := g.rankOf(from)
+	if r <= 0 || t.replan.acks[r] {
+		return nil
+	}
+	t.replan.acks[r] = true
+	hi := m.Block
+	if !m.OK {
+		hi = t.k - 1
+	}
+	if hi > t.replan.highest {
+		t.replan.highest = hi
+	}
+	if len(t.replan.acks) < len(g.members)-1 {
+		return nil
+	}
+
+	boundary := t.replan.highest + 1
+	mask := t.replan.mask
+	t.replan = nil
+	ap, _ := g.cfg.Generator.(schedule.AdaptivePlanner)
+	_, minBlocks := ap.ReplanPolicy()
+	if t.k-boundary < minBlocks {
+		if eo := g.engine.eobs; eo != nil {
+			eo.replanAbrt.Inc()
+		}
+		g.obsEvent(obs.EvReplanAbort, t.seq, boundary, -1, int64(mask))
+		for rank := 1; rank < len(g.members); rank++ {
+			g.ctrlTo(rank, CtrlMsg{Kind: CtrlReplanResume, Group: g.id, Seq: t.seq})
+		}
+		return nil
+	}
+	if eo := g.engine.eobs; eo != nil {
+		eo.replanOK.Inc()
+	}
+	g.obsEvent(obs.EvReplanCommit, t.seq, boundary, -1, int64(mask))
+	for rank := 1; rank < len(g.members); rank++ {
+		g.ctrlTo(rank, CtrlMsg{Kind: CtrlReplanCommit, Group: g.id, Seq: t.seq, Block: boundary, Mask: mask})
+	}
+	return t.applyCutoverLocked(boundary, mask)
+}
+
+// onReplanCommitLocked applies the committed cutover on a member.
+func (g *Group) onReplanCommitLocked(m CtrlMsg) []func() {
+	t := g.current
+	if g.rank == 0 || t == nil || t.seq != m.Seq {
+		return nil
+	}
+	return t.applyCutoverLocked(m.Block, m.Mask)
+}
+
+// onReplanResumeLocked unwinds an aborted barrier on a member: unfreeze and
+// carry on under the old plan.
+func (g *Group) onReplanResumeLocked(m CtrlMsg) []func() {
+	t := g.current
+	if g.rank == 0 || t == nil || t.seq != m.Seq || !t.frozen {
+		return nil
+	}
+	t.frozen = false
+	if cbs := t.postRecvWindowLocked(); cbs != nil {
+		return cbs
+	}
+	if cbs := t.pumpSendsLocked(); cbs != nil {
+		return cbs
+	}
+	return t.maybeDeliverLocked()
+}
+
+// applyCutoverLocked truncates this transfer at the committed boundary. The
+// window and pump skip logic then drain the schedule's tail entries without
+// touching the wire; the transfer quiesces when the kept region completes,
+// at which point deliverLocked hands off to the continuation.
+func (t *transfer) applyCutoverLocked(boundary int, mask uint64) []func() {
+	t.cutoff = boundary
+	t.contMask = mask
+	t.frozen = false
+	if cbs := t.postRecvWindowLocked(); cbs != nil {
+		return cbs
+	}
+	if cbs := t.pumpSendsLocked(); cbs != nil {
+		return cbs
+	}
+	return t.maybeDeliverLocked()
+}
+
+// startContinuationLocked begins the continuation transfer for blocks
+// cutoff..k-1 once the truncated phase has quiesced locally. Every member
+// constructs it from the commit message alone — same boundary, same mask,
+// same deterministic planner — so no prepare round is needed.
+func (t *transfer) startContinuationLocked() []func() {
+	g := t.g
+	off := int64(t.cutoff) * int64(t.bs)
+	var buf rdma.Buffer
+	if t.buf.Data != nil {
+		buf = rdma.MakeBuffer(t.buf.Data[off:t.size])
+	} else {
+		buf = rdma.SizeBuffer(int(t.size - off))
+	}
+	ct := &transfer{
+		g:            g,
+		seq:          t.seq | contSeqTag,
+		size:         t.size - off,
+		k:            t.k - t.cutoff,
+		bs:           t.bs,
+		mask:         t.contMask,
+		buf:          buf,
+		orig:         &origMsg{seq: t.seq, size: t.size, buf: t.buf},
+		maxSentBlock: -1,
+		replanTried:  true, // one re-plan per message: continuations never re-enter
+	}
+	ct.np = g.nodePlan(ct.k, ct.mask)
+	ct.have = make([]bool, ct.k)
+	ct.sendDone = make([]bool, len(ct.np.Sends))
+	ct.sentTo = make([]int, len(g.members))
+	if t.stats != nil {
+		// Fresh stamp arrays keep the schedule-index pairing intact; the
+		// record still describes the original message end to end.
+		ct.stats = &TransferStats{
+			Seq:         t.stats.Seq,
+			Size:        t.stats.Size,
+			Blocks:      t.stats.Blocks,
+			StartAt:     t.stats.StartAt,
+			SetupDoneAt: t.stats.SetupDoneAt,
+			CopyTime:    t.stats.CopyTime,
+		}
+	}
+	// The old phase's credit state is dead: both ends finished every kept
+	// schedule entry, and the tail entries consumed no credit.
+	for key := range g.readyCounts {
+		if key.seq == t.seq {
+			delete(g.readyCounts, key)
+		}
+	}
+	g.current = ct
+
+	if g.rank == 0 {
+		ct.readyReceivers = make(map[int]bool, len(g.members)-1)
+		for b := range ct.have {
+			ct.have[b] = true
+		}
+		// Replay readiness that arrived while this node was still draining
+		// the old phase.
+		var cbs []func()
+		if set := g.earlyReady[ct.seq]; set != nil {
+			delete(g.earlyReady, ct.seq)
+			for r := range set {
+				cbs = append(cbs, ct.receiverReadyLocked(r)...)
+			}
+		}
+		return cbs
+	}
+
+	// Member: the buffer is a slice of the already-allocated original, so
+	// there is no Incoming round — post the window and report readiness.
+	if cbs := ct.postRecvWindowLocked(); cbs != nil {
+		return cbs
+	}
+	g.ctrlTo(0, CtrlMsg{Kind: CtrlReceiverReady, Group: g.id, Seq: ct.seq})
+	g.obsEvent(obs.EvSetupDone, ct.seq, -1, -1, ct.size)
+	return ct.pumpSendsLocked()
+}

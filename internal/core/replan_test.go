@@ -1,0 +1,220 @@
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rdmc/internal/core"
+	"rdmc/internal/obs"
+	"rdmc/internal/rdma"
+	"rdmc/internal/schedule"
+	"rdmc/internal/simhost"
+	"rdmc/internal/simnet"
+)
+
+// replanGrid builds a 12-node, 3-rack deployment for the mid-transfer
+// re-plan tests: racks 0 and 1 hold an 8-member adaptive group, rack 2's
+// nodes stay outside it as foreign-traffic sources. The trunk matches one
+// NIC (12.5 GB/s), so a handful of foreign flows into rack 1 pushes its
+// trunk pressure far past the adaptive policy's SaturateAt.
+func replanGrid(t *testing.T, sink *obs.Obs) *simhost.Grid {
+	t.Helper()
+	grid, err := simhost.New(simhost.Config{
+		Cluster: simnet.ClusterConfig{
+			Nodes:          12,
+			RackSize:       4,
+			LinkBandwidth:  12.5e9,
+			TrunkBandwidth: 12.5e9,
+			Latency:        1.5e-6,
+			CPU:            simnet.DefaultCPUConfig(),
+		},
+		Seed:     1,
+		Observer: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return grid
+}
+
+// replanGroup creates the adaptive group on ranks 0..7 (racks 0 and 1).
+func replanGroup(t *testing.T, grid *simhost.Grid, policy schedule.AdaptivePolicy, sendWindow, recvWindow int) ([]*core.Group, []*receiverState) {
+	t.Helper()
+	const groupSize = 8
+	rackOf := adaptiveRackOf(groupSize, 4)
+	members := make([]rdma.NodeID, groupSize)
+	for i := range members {
+		members[i] = rdma.NodeID(i)
+	}
+	groups := make([]*core.Group, groupSize)
+	states := make([]*receiverState, groupSize)
+	for i := 0; i < groupSize; i++ {
+		st := &receiverState{}
+		states[i] = st
+		g, err := grid.Engine(i).CreateGroup(1, members, core.GroupConfig{
+			BlockSize:  512 << 10,
+			Generator:  schedule.AdaptiveGen{RackOf: rackOf, Policy: policy},
+			SendWindow: sendWindow,
+			RecvWindow: recvWindow,
+			Callbacks: core.Callbacks{
+				Incoming: func(size int) []byte { return make([]byte, size) },
+				Completion: func(seq int, data []byte, size int) {
+					if data != nil {
+						data = append([]byte(nil), data...)
+					}
+					st.delivered = append(st.delivered, data)
+					st.sizes = append(st.sizes, size)
+				},
+				Failure: func(err error) { st.failures = append(st.failures, err) },
+			},
+		})
+		if err != nil {
+			t.Fatalf("CreateGroup on node %d: %v", i, err)
+		}
+		groups[i] = g
+	}
+	return groups, states
+}
+
+func adaptiveRackOf(n, rackSize int) []int {
+	rackOf := make([]int, n)
+	for i := range rackOf {
+		rackOf[i] = i / rackSize
+	}
+	return rackOf
+}
+
+// saturateRack1 launches four foreign bulk flows from rack 2 into rack 1's
+// members at virtual time `at`, saturating rack 1's TOR downlink while the
+// multicast is in flight.
+func saturateRack1(grid *simhost.Grid, at float64) {
+	grid.Sim().At(at, func() {
+		for i := 0; i < 4; i++ {
+			grid.Cluster().Transfer(simnet.NodeID(8+i), simnet.NodeID(4+i), 64<<20, func(bool) {})
+		}
+	})
+}
+
+// eventsOf filters the grid-wide event ring by kind.
+func eventsOf(sink *obs.Obs, kind obs.EventKind) []obs.Event {
+	var out []obs.Event
+	for _, e := range sink.Ring().Snapshot() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// checkIntactDelivery asserts the safety property every re-plan outcome must
+// preserve: no failures, exactly one delivery per member, and bytes
+// identical to the root's message.
+func checkIntactDelivery(t *testing.T, states []*receiverState, msg []byte) {
+	t.Helper()
+	for i, st := range states {
+		if len(st.failures) != 0 {
+			t.Fatalf("member %d failed: %v", i, st.failures)
+		}
+		if len(st.delivered) != 1 {
+			t.Fatalf("member %d delivered %d messages, want exactly 1", i, len(st.delivered))
+		}
+		if st.sizes[0] != len(msg) {
+			t.Errorf("member %d size = %d, want %d", i, st.sizes[0], len(msg))
+		}
+		if i != 0 && !bytes.Equal(st.delivered[0], msg) {
+			t.Errorf("member %d delivered corrupt bytes", i)
+		}
+	}
+}
+
+// TestMidTransferReplanDeliversIntact is the re-plan acceptance test:
+// contention arriving mid-transfer must trigger exactly one freeze/commit
+// cutover at an interior block boundary, and the continuation must hand the
+// application the same single, intact message a static run would — no gaps,
+// no duplicate deliveries, no observable split.
+func TestMidTransferReplanDeliversIntact(t *testing.T) {
+	sink := obs.New(1 << 14)
+	grid := replanGrid(t, sink)
+	groups, states := replanGroup(t, grid, schedule.AdaptivePolicy{Replan: true}, 0, 0)
+
+	msg := make([]byte, 32<<20) // 64 blocks of 512 KiB
+	rand.New(rand.NewSource(5)).Read(msg)
+	saturateRack1(grid, 0.5e-3) // well after the clean-signal plan decision
+	if err := groups[0].Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	grid.Run()
+
+	checkIntactDelivery(t, states, msg)
+
+	commits := eventsOf(sink, obs.EvReplanCommit)
+	if len(eventsOf(sink, obs.EvReplanFreeze)) != 1 || len(commits) != 1 {
+		t.Fatalf("freeze/commit events = %d/%d, want 1/1",
+			len(eventsOf(sink, obs.EvReplanFreeze)), len(commits))
+	}
+	k := len(msg) / (512 << 10)
+	if b := int(commits[0].Block); b <= 0 || b >= k {
+		t.Errorf("cutover boundary %d not an interior block of 0..%d", b, k)
+	}
+	if commits[0].Arg == 0 {
+		t.Error("committed mask is zero — cutover committed without contention")
+	}
+	if got := eventsOf(sink, obs.EvReplanAbort); len(got) != 0 {
+		t.Errorf("saw %d re-plan aborts alongside the commit", len(got))
+	}
+}
+
+// TestReplanDisabledIgnoresContention pins the default policy: the same
+// mid-transfer contention must not open the barrier when Replan is off, and
+// delivery is of course still intact.
+func TestReplanDisabledIgnoresContention(t *testing.T) {
+	sink := obs.New(1 << 14)
+	grid := replanGrid(t, sink)
+	groups, states := replanGroup(t, grid, schedule.AdaptivePolicy{}, 0, 0)
+
+	msg := make([]byte, 32<<20)
+	rand.New(rand.NewSource(5)).Read(msg)
+	saturateRack1(grid, 0.5e-3)
+	if err := groups[0].Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	grid.Run()
+
+	checkIntactDelivery(t, states, msg)
+	if got := eventsOf(sink, obs.EvReplanFreeze); len(got) != 0 {
+		t.Errorf("Replan=false opened %d freeze barriers", len(got))
+	}
+}
+
+// TestReplanAbortsWhenTooFewBlocksRemain drives the barrier's abort arm:
+// with MinReplanBlocks tuned so the freeze opens but the acked high-water
+// mark lands past the profitability line, the root must flood Resume, ride
+// the old plan out, and still deliver intact.
+func TestReplanAbortsWhenTooFewBlocksRemain(t *testing.T) {
+	sink := obs.New(1 << 14)
+	grid := replanGrid(t, sink)
+	// Lockstep sends pin the root's high-water mark low while a wide receive
+	// window keeps posted receives running far ahead of it — the gap between
+	// the freeze pre-check and the acked boundary that the abort arm lives in.
+	groups, states := replanGroup(t, grid, schedule.AdaptivePolicy{Replan: true, MinReplanBlocks: 58}, 1, 8)
+
+	msg := make([]byte, 32<<20)
+	rand.New(rand.NewSource(5)).Read(msg)
+	saturateRack1(grid, 0.1e-3)
+	if err := groups[0].Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	grid.Run()
+
+	checkIntactDelivery(t, states, msg)
+	if got := eventsOf(sink, obs.EvReplanFreeze); len(got) != 1 {
+		t.Fatalf("freeze barriers = %d, want 1", len(got))
+	}
+	if got := eventsOf(sink, obs.EvReplanCommit); len(got) != 0 {
+		t.Fatalf("re-plan committed despite %d-block floor", 58)
+	}
+	if got := eventsOf(sink, obs.EvReplanAbort); len(got) != 1 {
+		t.Fatalf("abort events = %d, want 1", len(got))
+	}
+}

@@ -24,10 +24,26 @@ type transfer struct {
 	seq  int
 	size int64
 	k    int
+	bs   int    // per-transfer block size (adaptive roots may scale the configured one)
+	mask uint64 // contention bucket the plan was built under (0 = static)
 	np   schedule.NodePlan
 
 	buf     rdma.Buffer // message memory (Data nil for metadata-only)
 	staging []byte      // first-block landing buffer when carrying data
+
+	// Adaptive mid-transfer re-plan state (see replan.go). frozen pauses
+	// receive-window advancement during the freeze barrier; cutoff > 0
+	// truncates the plan at that block boundary (blocks ≥ cutoff move to a
+	// continuation transfer planned under contMask); replan holds the
+	// root's barrier bookkeeping; orig is set on a continuation and names
+	// the original message it completes.
+	frozen       bool
+	cutoff       int
+	contMask     uint64
+	replanTried  bool
+	replan       *replanState
+	maxSentBlock int
+	orig         *origMsg
 
 	// Root-side start gate: the transfer begins only when every receiver
 	// has posted its buffers (§2's "starts sending only after all are
@@ -53,16 +69,22 @@ type transfer struct {
 }
 
 func newTransfer(g *Group, pm pendingMsg) *transfer {
-	bs := int64(g.cfg.BlockSize)
-	k := int((pm.size + bs - 1) / bs)
+	bs := pm.blockSize
+	if bs <= 0 {
+		bs = g.cfg.BlockSize
+	}
+	k := int((pm.size + int64(bs) - 1) / int64(bs))
 	t := &transfer{
-		g:    g,
-		seq:  pm.seq,
-		size: pm.size,
-		k:    k,
-		np:   g.nodePlan(k),
-		buf:  pm.buf,
-		have: make([]bool, k),
+		g:            g,
+		seq:          pm.seq,
+		size:         pm.size,
+		k:            k,
+		bs:           bs,
+		mask:         pm.mask,
+		np:           g.nodePlan(k, pm.mask),
+		buf:          pm.buf,
+		have:         make([]bool, k),
+		maxSentBlock: -1,
 	}
 	t.sendDone = make([]bool, len(t.np.Sends))
 	t.sentTo = make([]int, len(g.members))
@@ -84,25 +106,42 @@ func newTransfer(g *Group, pm pendingMsg) *transfer {
 	return t
 }
 
-// nodePlan computes (and caches per block count) this member's slice of the
-// group's schedule. It uses the generator's rank-local fast path — the
-// closed-form generators answer in O(l+k) without ever materializing the
-// global transfer list; the rest resolve through the schedule package's
-// process-wide plan cache, so co-located members of the same geometry share
-// one immutable table instead of each recomputing the plan.
-func (g *Group) nodePlan(k int) schedule.NodePlan {
+// planCacheKey identifies one cached rank plan: the block count plus the
+// adaptive contention bucket the plan was conditioned on (always zero for
+// static generators, so their cache behavior is unchanged).
+type planCacheKey struct {
+	k    int
+	mask uint64
+}
+
+// nodePlan computes (and caches per block count and contention bucket) this
+// member's slice of the group's schedule. It uses the generator's rank-local
+// fast path — the closed-form generators answer in O(l+k) without ever
+// materializing the global transfer list; the rest resolve through the
+// schedule package's process-wide plan cache, so co-located members of the
+// same geometry share one immutable table instead of each recomputing the
+// plan. Adaptive generators plan through their mask-conditioned entry point;
+// the mask a transfer runs under is decided once by the root and shipped in
+// the prepare message, so every member resolves the same (k, mask) key.
+func (g *Group) nodePlan(k int, mask uint64) schedule.NodePlan {
 	if g.planCache == nil {
-		g.planCache = make(map[int]schedule.NodePlan)
+		g.planCache = make(map[planCacheKey]schedule.NodePlan)
 	}
-	if np, ok := g.planCache[k]; ok {
+	key := planCacheKey{k: k, mask: mask}
+	if np, ok := g.planCache[key]; ok {
 		if eo := g.engine.eobs; eo != nil {
 			eo.planHit.Inc()
 			eo.record(g.engine.host.Now(), obs.EvPlanCacheHit, g.id, -1, -1, -1, int64(k))
 		}
 		return np
 	}
-	np := g.cfg.Generator.NodePlan(len(g.members), k, g.rank)
-	g.planCache[k] = np
+	var np schedule.NodePlan
+	if ap, ok := g.cfg.Generator.(schedule.AdaptivePlanner); ok {
+		np = ap.MaskedNodePlan(len(g.members), k, g.rank, mask)
+	} else {
+		np = g.cfg.Generator.NodePlan(len(g.members), k, g.rank)
+	}
+	g.planCache[key] = np
 	if eo := g.engine.eobs; eo != nil {
 		eo.planMiss.Inc()
 		eo.record(g.engine.host.Now(), obs.EvPlanCacheMiss, g.id, -1, -1, -1, int64(k))
@@ -112,7 +151,7 @@ func (g *Group) nodePlan(k int) schedule.NodePlan {
 
 // blockLen returns the byte length of block b (the last block may be short).
 func (t *transfer) blockLen(b int) int {
-	bs := int64(t.g.cfg.BlockSize)
+	bs := int64(t.bs)
 	if off := int64(b) * bs; off+bs > t.size {
 		return int(t.size - off)
 	}
@@ -125,7 +164,7 @@ func (t *transfer) blockBuf(b int) rdma.Buffer {
 	if t.buf.Data == nil {
 		return rdma.SizeBuffer(n)
 	}
-	off := b * t.g.cfg.BlockSize
+	off := b * t.bs
 	return rdma.MakeBuffer(t.buf.Data[off : off+n])
 }
 
@@ -141,7 +180,7 @@ func (t *transfer) startLocked() []func() {
 			t.stats.SetupDoneAt = t.g.engine.host.Now()
 		}
 		for rank := 1; rank < len(t.g.members); rank++ {
-			t.g.ctrlTo(rank, CtrlMsg{Kind: CtrlPrepare, Group: t.g.id, Seq: t.seq, Size: t.size})
+			t.g.ctrlTo(rank, CtrlMsg{Kind: CtrlPrepare, Group: t.g.id, Seq: t.seq, Size: t.size, Mask: t.mask, BS: t.bs})
 		}
 		if t.started { // single-member group: nothing to move
 			return t.deliverLocked()
@@ -204,6 +243,11 @@ func (t *transfer) finishMemberSetupLocked(data []byte) []func() {
 // does not multiply control traffic. It returns non-nil only on failure.
 func (t *transfer) postRecvWindowLocked() []func() {
 	g := t.g
+	if t.frozen {
+		// Re-plan barrier: the window holds still so the acked high-water
+		// mark stays the truth until the root commits or resumes.
+		return nil
+	}
 	// A window's worth of receives rarely spans more than a couple of
 	// sources; a small linear-scanned batch list stays on the stack.
 	var batchBuf [4]readyNotice
@@ -211,6 +255,15 @@ func (t *transfer) postRecvWindowLocked() []func() {
 	for t.recvPosted < len(t.np.Recvs) && t.recvPosted-t.recvDone < g.cfg.RecvWindow {
 		idx := t.recvPosted
 		tr := t.np.Recvs[idx]
+		if t.cutoff > 0 && tr.Block >= t.cutoff {
+			// Truncated tail: this block moved to the continuation. Mark
+			// the slot done without posting memory or sending credit — the
+			// sender skips the matching send the same way, so cumulative
+			// credit for this (source, receiver) pair stays in agreement.
+			t.recvPosted++
+			t.recvDone++
+			continue
+		}
 		qp, err := g.qpTo(tr.From)
 		if err != nil {
 			return g.failLocked(g.members[tr.From], true)
@@ -296,10 +349,20 @@ func (t *transfer) pumpSendsLocked() []func() {
 			return nil
 		}
 		tr := t.np.Sends[t.sendIdx]
+		if t.cutoff > 0 && tr.Block >= t.cutoff {
+			// Truncated tail: the receiver never posted this block's recv
+			// (it skipped the slot symmetrically), so complete the schedule
+			// entry without posting or consuming credit.
+			t.sendDone[t.sendIdx] = true
+			t.sendsDone++
+			t.sendIdx++
+			continue
+		}
 		if !t.have[tr.Block] {
 			return nil
 		}
 		if t.sentTo[tr.To] >= g.readyCounts[readyKey{seq: t.seq, to: tr.To}] {
+			g.stallCredit++
 			return nil
 		}
 		qp, err := g.qpTo(tr.To)
@@ -322,6 +385,10 @@ func (t *transfer) pumpSendsLocked() []func() {
 		t.sentTo[tr.To]++
 		t.sendsInFlight++
 		t.sendIdx++
+		g.postedSends++
+		if tr.Block > t.maxSentBlock {
+			t.maxSentBlock = tr.Block
+		}
 	}
 	return nil
 }
@@ -361,6 +428,9 @@ func (t *transfer) sendDoneLocked(idx int) []func() {
 	if cbs := t.pumpSendsLocked(); cbs != nil {
 		return cbs
 	}
+	if t.g.rank == 0 {
+		t.g.maybeReplanLocked()
+	}
 	return t.maybeDeliverLocked()
 }
 
@@ -391,7 +461,7 @@ func (t *transfer) recvDoneLocked(idx int, c rdma.Completion) []func() {
 		n := t.blockLen(tr.Block)
 		if t.staging != nil {
 			if t.buf.Data != nil {
-				copy(t.buf.Data[tr.Block*t.g.cfg.BlockSize:], t.staging[:n])
+				copy(t.buf.Data[tr.Block*t.bs:], t.staging[:n])
 			}
 			// The transport handed the completion back; the landing
 			// buffer is free to recycle.
@@ -452,10 +522,22 @@ func (t *transfer) maybeDeliverLocked() []func() {
 
 func (t *transfer) deliverLocked() []func() {
 	g := t.g
+	if t.cutoff > 0 {
+		// The truncated phase quiesced; the remaining blocks move as a
+		// continuation transfer under the committed plan. Delivery happens
+		// when the continuation finishes.
+		return t.startContinuationLocked()
+	}
 	g.delivered++
 	g.current = nil
+	seq, size, data := t.seq, t.size, t.buf.Data
+	if t.orig != nil {
+		// Continuation finishing: deliver under the original message's
+		// identity — the application never observes the split.
+		seq, size, data = t.orig.seq, t.orig.size, t.orig.buf.Data
+	}
 	for key := range g.readyCounts {
-		if key.seq == t.seq {
+		if key.seq == t.seq || key.seq == seq {
 			delete(g.readyCounts, key)
 		}
 	}
@@ -465,14 +547,14 @@ func (t *transfer) deliverLocked() []func() {
 	}
 	if eo := g.engine.eobs; eo != nil {
 		eo.delivered.Inc()
-		eo.msgBytes.Observe(t.size)
-		eo.record(g.engine.host.Now(), obs.EvDelivered, g.id, t.seq, -1, -1, t.size)
+		eo.msgBytes.Observe(size)
+		eo.record(g.engine.host.Now(), obs.EvDelivered, g.id, seq, -1, -1, size)
 	}
 
 	var cbs []func()
 	if fn := g.cfg.Callbacks.Completion; fn != nil {
-		seq, data, size := t.seq, t.buf.Data, int(t.size)
-		cbs = append(cbs, func() { fn(seq, data, size) })
+		cseq, cdata, csize := seq, data, int(size)
+		cbs = append(cbs, func() { fn(cseq, cdata, csize) })
 	}
 	cbs = append(cbs, g.maybeAckCloseLocked()...)
 	cbs = append(cbs, g.maybeStartNextLocked()...)

@@ -7,11 +7,11 @@ import (
 	"rdmc/internal/rdma"
 )
 
-// Control messages travel as fixed 38-byte frames. CtrlMsg is a flat record
-// of small non-negative integers, so a hand-rolled codec beats a reflective
-// one on both allocation count (zero per message, in both directions) and
-// wire size; the control plane sits on every block's critical path (the
-// ready-for-block notices of §4.2), so this matters for dataplane overhead.
+// Control messages travel as fixed 50-byte frames. CtrlMsg is a flat record
+// of small integers, so a hand-rolled codec beats a reflective one on both
+// allocation count (zero per message, in both directions) and wire size; the
+// control plane sits on every block's critical path (the ready-for-block
+// notices of §4.2), so this matters for dataplane overhead.
 //
 // Layout (big endian):
 //
@@ -21,11 +21,13 @@ import (
 //	off 6  Seq    uint32
 //	off 10 Size   uint64
 //	off 18 Round  uint32
-//	off 22 Block  uint32
+//	off 22 Block  int32 (sign-preserving: replan acks carry -1)
 //	off 26 Node   uint32
 //	off 30 Total  uint32
 //	off 34 Count  uint32
-const ctrlWireLen = 38
+//	off 38 Mask   uint64
+//	off 46 BS     uint32
+const ctrlWireLen = 50
 
 func encodeCtrl(buf *[ctrlWireLen]byte, m core.CtrlMsg) {
 	buf[0] = byte(m.Kind)
@@ -37,10 +39,12 @@ func encodeCtrl(buf *[ctrlWireLen]byte, m core.CtrlMsg) {
 	binary.BigEndian.PutUint32(buf[6:10], uint32(m.Seq))
 	binary.BigEndian.PutUint64(buf[10:18], uint64(m.Size))
 	binary.BigEndian.PutUint32(buf[18:22], uint32(m.Round))
-	binary.BigEndian.PutUint32(buf[22:26], uint32(m.Block))
+	binary.BigEndian.PutUint32(buf[22:26], uint32(int32(m.Block)))
 	binary.BigEndian.PutUint32(buf[26:30], uint32(m.Node))
 	binary.BigEndian.PutUint32(buf[30:34], uint32(m.Total))
 	binary.BigEndian.PutUint32(buf[34:38], uint32(m.Count))
+	binary.BigEndian.PutUint64(buf[38:46], m.Mask)
+	binary.BigEndian.PutUint32(buf[46:50], uint32(m.BS))
 }
 
 func decodeCtrl(buf *[ctrlWireLen]byte) core.CtrlMsg {
@@ -51,9 +55,11 @@ func decodeCtrl(buf *[ctrlWireLen]byte) core.CtrlMsg {
 		Seq:   int(binary.BigEndian.Uint32(buf[6:10])),
 		Size:  int64(binary.BigEndian.Uint64(buf[10:18])),
 		Round: int(binary.BigEndian.Uint32(buf[18:22])),
-		Block: int(binary.BigEndian.Uint32(buf[22:26])),
+		Block: int(int32(binary.BigEndian.Uint32(buf[22:26]))),
 		Node:  rdma.NodeID(binary.BigEndian.Uint32(buf[26:30])),
 		Total: int(binary.BigEndian.Uint32(buf[30:34])),
 		Count: int(binary.BigEndian.Uint32(buf[34:38])),
+		Mask:  binary.BigEndian.Uint64(buf[38:46]),
+		BS:    int(binary.BigEndian.Uint32(buf[46:50])),
 	}
 }

@@ -207,9 +207,54 @@ func Churn() Config {
 	}
 }
 
+// AdaptiveCrossTraffic pits every schedule family against foreign traffic
+// on a three-rack Apt slice: the group spans racks 0–2, while rack 1's four
+// spare NICs blast 24 looping streams at rack 3, saturating rack 1's TOR
+// uplink for the first virtual second. The first write issues before the
+// foreign flows are on the fabric (the adaptive planner sees a clean signal
+// and runs the plain hybrid schedule); the remaining writes issue under
+// saturation and get the sheltered plan, so the per-write latency spread
+// inside the adaptive row is itself the adaptation signal.
+func AdaptiveCrossTraffic() Config {
+	group := make([]int, 0, 16)
+	group = append(group, Roster(8)...)
+	for i := 8; i < 12; i++ {
+		group = append(group, i)
+	}
+	for i := 16; i < 20; i++ {
+		group = append(group, i)
+	}
+	cross := make([]CrossFlow, 0, 6)
+	for i := 0; i < 6; i++ {
+		cross = append(cross, CrossFlow{
+			From:    12 + i%4,
+			To:      24 + i,
+			Streams: 4,
+			StopSec: 1.0,
+		})
+	}
+	return Config{
+		Name:         "adaptive-crosstraffic",
+		Seed:         3,
+		Nodes:        32,
+		Writes:       4,
+		Arrival:      Arrival{Kind: ArrivalClosed, Concurrency: 1},
+		Sizes:        SizeConfig{Kind: SizeFixed, Bytes: 64 * mib},
+		Groups:       GroupConfig{Kind: GroupRoster, Members: group},
+		CrossTraffic: cross,
+		Replay: Replay{
+			Cluster:    "apt",
+			BlockBytes: mib,
+			Algorithms: []string{"chain send", "binomial pipeline", "hybrid", "adaptive"},
+			SendWindow: 1,
+			RecvWindow: 1,
+		},
+	}
+}
+
 // LibraryNames lists the shipped scenario configs in presentation order.
 func LibraryNames() []string {
-	return []string{"cosmos", "fig8", "smc", "failover-crash-root", "mixed-tenants", "churn"}
+	return []string{"cosmos", "fig8", "smc", "failover-crash-root", "mixed-tenants", "churn", "adaptive-crosstraffic"}
 }
 
 // Library returns the shipped scenario configs by name — the set the
@@ -223,11 +268,12 @@ func Library() map[string]Config {
 	fo := FailoverCrashRoot(8, 2)
 	fo.Name = "failover-crash-root"
 	return map[string]Config{
-		"cosmos":              Cosmos(),
-		"fig8":                fig8,
-		"smc":                 smc,
-		"failover-crash-root": fo,
-		"mixed-tenants":       MixedTenants(),
-		"churn":               Churn(),
+		"cosmos":                Cosmos(),
+		"fig8":                  fig8,
+		"smc":                   smc,
+		"failover-crash-root":   fo,
+		"mixed-tenants":         MixedTenants(),
+		"churn":                 Churn(),
+		"adaptive-crosstraffic": AdaptiveCrossTraffic(),
 	}
 }

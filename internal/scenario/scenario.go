@@ -155,6 +155,25 @@ type Fault struct {
 	HealAfterFraction float64 `json:"heal_after_fraction,omitempty"`
 }
 
+// CrossFlow is one foreign bulk-traffic source: Streams looping transfers
+// from one node to another, each re-issuing Chunk-sized transfers back to
+// back from StartSec until the virtual clock passes StopSec. The flows ride
+// the replay fabric's fluid model, so they contend with the multicast for
+// NIC ports and TOR trunks exactly as a co-located tenant would — the
+// workload the adaptive schedule exists to route around.
+type CrossFlow struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Streams is how many parallel looping streams to run (default 1).
+	Streams int `json:"streams,omitempty"`
+	// ChunkBytes is the per-transfer size (default 8 MiB).
+	ChunkBytes int `json:"chunk_bytes,omitempty"`
+	// StartSec and StopSec bound the traffic in virtual time. StopSec is
+	// required: an unbounded stream would keep the event loop alive forever.
+	StartSec float64 `json:"start_sec,omitempty"`
+	StopSec  float64 `json:"stop_sec"`
+}
+
 // Replay tells the bench CLI how to run the scenario: which cluster model,
 // block size, schedule algorithms, and windows. It shapes the replay, not
 // the compiled stream.
@@ -198,6 +217,9 @@ type Config struct {
 	// Epilogue is how many liveness messages the surviving root publishes
 	// after recovery (fault scenarios only).
 	Epilogue int `json:"epilogue,omitempty"`
+	// CrossTraffic runs foreign bulk flows alongside the stream, contending
+	// with the multicast on the replay fabric.
+	CrossTraffic []CrossFlow `json:"cross_traffic,omitempty"`
 
 	Replay Replay `json:"replay,omitempty"`
 }
@@ -261,6 +283,26 @@ func (c Config) Validate() error {
 		}
 		if f.AtFraction <= 0 {
 			return fmt.Errorf("scenario %s: fault %d fires at fraction %g, want > 0", c.Name, i, f.AtFraction)
+		}
+	}
+	for i, ct := range c.CrossTraffic {
+		if ct.From < 0 || ct.From >= c.Nodes || ct.To < 0 || ct.To >= c.Nodes {
+			return fmt.Errorf("scenario %s: cross flow %d endpoints %d->%d outside [0,%d)", c.Name, i, ct.From, ct.To, c.Nodes)
+		}
+		if ct.From == ct.To {
+			return fmt.Errorf("scenario %s: cross flow %d loops node %d onto itself", c.Name, i, ct.From)
+		}
+		if ct.Streams < 0 {
+			return fmt.Errorf("scenario %s: cross flow %d streams must be non-negative, got %d", c.Name, i, ct.Streams)
+		}
+		if ct.ChunkBytes < 0 {
+			return fmt.Errorf("scenario %s: cross flow %d chunk_bytes must be non-negative, got %d", c.Name, i, ct.ChunkBytes)
+		}
+		if ct.StartSec < 0 {
+			return fmt.Errorf("scenario %s: cross flow %d start_sec must be non-negative, got %g", c.Name, i, ct.StartSec)
+		}
+		if ct.StopSec <= ct.StartSec {
+			return fmt.Errorf("scenario %s: cross flow %d needs stop_sec > start_sec to terminate", c.Name, i)
 		}
 	}
 	return nil

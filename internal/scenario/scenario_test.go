@@ -139,6 +139,27 @@ func TestValidateRejects(t *testing.T) {
 		{"partition whole cluster", func(c *Config) {
 			c.Faults = []Fault{{Kind: FaultPartition, AtFraction: 0.5, RackSize: 16}}
 		}},
+		{"cross-traffic from out of range", func(c *Config) {
+			c.CrossTraffic = []CrossFlow{{From: -1, To: 1, StopSec: 1}}
+		}},
+		{"cross-traffic to out of range", func(c *Config) {
+			c.CrossTraffic = []CrossFlow{{From: 0, To: 99, StopSec: 1}}
+		}},
+		{"cross-traffic self-loop", func(c *Config) {
+			c.CrossTraffic = []CrossFlow{{From: 1, To: 1, StopSec: 1}}
+		}},
+		{"cross-traffic negative streams", func(c *Config) {
+			c.CrossTraffic = []CrossFlow{{From: 0, To: 1, Streams: -1, StopSec: 1}}
+		}},
+		{"cross-traffic negative chunk", func(c *Config) {
+			c.CrossTraffic = []CrossFlow{{From: 0, To: 1, ChunkBytes: -1, StopSec: 1}}
+		}},
+		{"cross-traffic missing stop", func(c *Config) {
+			c.CrossTraffic = []CrossFlow{{From: 0, To: 1}}
+		}},
+		{"cross-traffic stop before start", func(c *Config) {
+			c.CrossTraffic = []CrossFlow{{From: 0, To: 1, StartSec: 2, StopSec: 1}}
+		}},
 	} {
 		cfg := base()
 		tc.mutate(&cfg)

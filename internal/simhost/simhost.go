@@ -13,6 +13,7 @@ import (
 	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
 	"rdmc/internal/rdma/simnic"
+	"rdmc/internal/schedule"
 	"rdmc/internal/simnet"
 )
 
@@ -72,6 +73,7 @@ func New(cfg Config) (*Grid, error) {
 			provider.SetObserver(cfg.Observer)
 			engine.SetObserver(cfg.Observer)
 		}
+		engine.SetContentionSampler(g)
 		g.engines = append(g.engines, engine)
 	}
 	return g, nil
@@ -111,6 +113,36 @@ func (g *Grid) FailNode(i int) {
 		}
 	}
 }
+
+// SampleContention implements core.ContentionSampler: a zero-cost census of
+// the fluid model's live flows, quantified as demand/capacity pressure. The
+// fabric's max-min allocation pins a used trunk at its capacity whenever any
+// flow crosses it, so achieved rate carries no contention information —
+// what the planner needs is how many NIC-rate flows are competing for each
+// trunk, which is exactly TrunkPressure. Host pressure is the deepest flow
+// queue on any NIC port, in units of "full-rate flows per port".
+func (g *Grid) SampleContention() schedule.Contention {
+	var c schedule.Contention
+	if racks := g.cluster.Racks(); racks > 0 {
+		c.TrunkUp = make([]float64, racks)
+		c.TrunkDown = make([]float64, racks)
+		for r := 0; r < racks; r++ {
+			c.TrunkUp[r], c.TrunkDown[r] = g.cluster.TrunkPressure(r)
+		}
+	}
+	for i := 0; i < g.cluster.Config().Nodes; i++ {
+		tx, rx := g.cluster.NodePortFlows(simnet.NodeID(i))
+		if f := float64(tx); f > c.HostTx {
+			c.HostTx = f
+		}
+		if f := float64(rx); f > c.HostRx {
+			c.HostRx = f
+		}
+	}
+	return c
+}
+
+var _ core.ContentionSampler = (*Grid)(nil)
 
 // gridControl carries control messages over the cluster's latency-only
 // channel, preserving per-sender order (simultaneous events fire in

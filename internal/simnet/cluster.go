@@ -230,6 +230,40 @@ func (c *Cluster) Ctrl(src, dst NodeID, onDeliver func()) {
 	c.sim.After(c.cfg.Latency, onDeliver)
 }
 
+// Racks returns the number of TOR trunks (zero under full bisection).
+func (c *Cluster) Racks() int {
+	if c.cfg.RackSize <= 0 {
+		return 0
+	}
+	return (c.cfg.Nodes + c.cfg.RackSize - 1) / c.cfg.RackSize
+}
+
+// TrunkFlows returns the number of flows currently crossing the rack's
+// uplink and downlink. Panics if the topology is flat; guard with Racks.
+func (c *Cluster) TrunkFlows(rack int) (up, down int) {
+	n := c.nodes[rack*c.cfg.RackSize]
+	return n.rackUp.ActiveFlows(), n.rackDown.ActiveFlows()
+}
+
+// TrunkPressure returns the demand/capacity ratio of the rack's trunk in
+// each direction: active flows × per-flow NIC capacity ÷ trunk capacity.
+// Under the fabric's max-min allocation a used trunk always runs at its
+// capacity, so achieved rate says nothing about contention — demand does.
+// Values above 1 mean flows through the trunk are trunk-limited rather than
+// NIC-limited. Panics if the topology is flat; guard with Racks.
+func (c *Cluster) TrunkPressure(rack int) (up, down float64) {
+	u, d := c.TrunkFlows(rack)
+	scale := c.cfg.LinkBandwidth / c.cfg.TrunkBandwidth
+	return float64(u) * scale, float64(d) * scale
+}
+
+// NodePortFlows returns the number of flows currently using the node's NIC
+// transmit and receive ports.
+func (c *Cluster) NodePortFlows(id NodeID) (tx, rx int) {
+	n := c.nodes[id]
+	return n.tx.ActiveFlows(), n.rx.ActiveFlows()
+}
+
 func (c *Cluster) path(src, dst NodeID) []*Resource {
 	s, d := c.nodes[src], c.nodes[dst]
 	path := make([]*Resource, 0, 5)
