@@ -27,14 +27,14 @@ bench-smoke:
 # Machine-readable send-window numbers: standard testing-package benchmark
 # output (benchstat-compatible Output lines) wrapped in test2json events.
 bench-json:
-	$(GO) test -run xxx -bench 'BenchmarkSendWindow|BenchmarkConcurrentGroups|BenchmarkNodePlan' -benchtime 5x -count 1 -json . > BENCH_sendwindow.json
+	$(GO) test -run xxx -bench 'BenchmarkSendWindow|BenchmarkConcurrentGroups|BenchmarkNodePlan|BenchmarkTenantThrottle' -benchtime 5x -count 1 -json . > BENCH_sendwindow.json
 
 # Rerun the send-window sweep and diff it against the committed baseline.
 # Report-only: the table flags regressions, it does not fail the build
 # (pass BENCHCMP_FLAGS='-fail-over 30' to make it gate).
 bench-compare:
-	$(GO) test -run xxx -bench 'BenchmarkSendWindow' -benchtime 5x -count 1 . | tee bench_new.txt
-	$(GO) run ./cmd/benchcmp -old BENCH_sendwindow.json -new bench_new.txt -filter BenchmarkSendWindow \
+	$(GO) test -run xxx -bench 'BenchmarkSendWindow|BenchmarkTenantThrottle' -benchtime 5x -count 1 . | tee bench_new.txt
+	$(GO) run ./cmd/benchcmp -old BENCH_sendwindow.json -new bench_new.txt -filter 'BenchmarkSendWindow|BenchmarkTenantThrottle' \
 		-json bench_delta.json -trajectory BENCH_trajectory.json -label "$$(git rev-parse --short HEAD 2>/dev/null || echo local)" \
 		$(BENCHCMP_FLAGS) | tee bench_compare.txt
 

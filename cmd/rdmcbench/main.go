@@ -76,9 +76,11 @@ func run(args []string) error {
 		bench.SetObserver(sink)
 		r := sink.Registry()
 		schedule.SetMetrics(&schedule.Metrics{
-			FastPath:  r.Counter("schedule.nodeplan_fast"),
-			CacheHit:  r.Counter("schedule.plan_cache_hits"),
-			CacheMiss: r.Counter("schedule.plan_cache_misses"),
+			FastPath:   r.Counter("schedule.nodeplan_fast"),
+			CacheHit:   r.Counter("schedule.plan_cache_hits"),
+			CacheMiss:  r.Counter("schedule.plan_cache_misses"),
+			CacheSize:  r.Gauge("schedule.plan_cache_size"),
+			CacheEvict: r.Counter("schedule.plan_cache_evictions"),
 		})
 		defer func() {
 			bench.SetObserver(nil)

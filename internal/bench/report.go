@@ -108,6 +108,7 @@ func Experiments() map[string]Runner {
 		"smc":      SmallMessages,
 		"window":   RecvWindowAblation,
 		"failover": Failover,
+		"tenants":  TenantsQoS,
 	}
 }
 
@@ -117,6 +118,6 @@ func Order() []string {
 		"fig4a", "fig4b", "table1", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10a", "fig10b", "fig11", "fig12",
 		"slack", "slowlink", "delay", "hybrid", "adaptive", "smc", "window",
-		"failover",
+		"failover", "tenants",
 	}
 }

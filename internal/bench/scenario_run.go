@@ -9,6 +9,7 @@ import (
 	"rdmc/internal/rdma"
 	"rdmc/internal/scenario"
 	"rdmc/internal/schedule"
+	"rdmc/internal/service"
 	"rdmc/internal/simnet"
 )
 
@@ -119,26 +120,39 @@ type streamResult struct {
 	lastDone float64
 }
 
+// scenarioGroup is one group a replay pre-creates: the member set and the
+// tenant whose model produced it — the tenant's class paces the group when
+// the replay throttles. A set both tenants can draw binds to the first
+// tenant that enumerates it (deterministic: tenant declaration order).
+type scenarioGroup struct {
+	set    []int
+	tenant string
+}
+
 // scenarioGroups lists the groups a replay pre-creates, in a stable order:
 // the model enumeration when it fits under preCreateLimit (every possible
 // group, as the paper's Cosmos replay does), otherwise the distinct groups
 // the stream actually uses, in first-use order.
-func scenarioGroups(cfg scenario.Config, stream *scenario.Stream) [][]int {
-	var models []scenario.GroupConfig
+func scenarioGroups(cfg scenario.Config, stream *scenario.Stream) []scenarioGroup {
+	type model struct {
+		gc     scenario.GroupConfig
+		tenant string
+	}
+	var models []model
 	if len(cfg.Tenants) == 0 {
-		models = append(models, cfg.Groups)
+		models = append(models, model{gc: cfg.Groups})
 	}
 	for _, t := range cfg.Tenants {
 		gc := cfg.Groups
 		if t.Groups != nil {
 			gc = *t.Groups
 		}
-		models = append(models, gc)
+		models = append(models, model{gc: gc, tenant: t.Name})
 	}
-	var out [][]int
+	var out []scenarioGroup
 	seen := make(map[string]bool)
 	for _, m := range models {
-		sub := scenario.EnumerateGroups(m, preCreateLimit)
+		sub := scenario.EnumerateGroups(m.gc, preCreateLimit)
 		if sub == nil {
 			out = nil
 			break
@@ -147,20 +161,24 @@ func scenarioGroups(cfg scenario.Config, stream *scenario.Stream) [][]int {
 			key := fmt.Sprint(g)
 			if !seen[key] {
 				seen[key] = true
-				out = append(out, g)
+				out = append(out, scenarioGroup{set: g, tenant: m.tenant})
 			}
 		}
 	}
 	if out != nil {
 		return out
 	}
-	// Fallback: only the groups the stream uses.
+	// Fallback: only the groups the stream uses, each bound to the tenant
+	// of its first write.
 	seen = make(map[string]bool)
 	for _, ev := range stream.Events {
 		key := fmt.Sprint(ev.Group)
 		if !seen[key] {
 			seen[key] = true
-			out = append(out, append([]int(nil), ev.Group...))
+			out = append(out, scenarioGroup{
+				set:    append([]int(nil), ev.Group...),
+				tenant: ev.Tenant,
+			})
 		}
 	}
 	return out
@@ -213,8 +231,37 @@ func replayStream(cfg scenario.Config, stream *scenario.Stream, spec replaySpec)
 	)
 	key := func(g []int) string { return fmt.Sprint(g) }
 
-	for _, set := range scenarioGroups(cfg, stream) {
-		set := set
+	// QoS replay: one weighted-fair send throttle per node, shared by every
+	// group endpoint on that node and drained by tenant class — the service
+	// layer's NIC contention model, driven from a declarative scenario.
+	var throttles map[int]*service.WFQThrottle
+	if cfg.Replay.ThrottleBytes > 0 && len(cfg.Tenants) > 0 {
+		throttles = make(map[int]*service.WFQThrottle)
+	}
+	throttleFor := func(node int) *service.WFQThrottle {
+		if throttles == nil {
+			return nil
+		}
+		th := throttles[node]
+		if th == nil {
+			th = service.NewWFQThrottle(cfg.Replay.ThrottleBytes)
+			for _, t := range cfg.Tenants {
+				w := t.QoSWeight
+				if w == 0 {
+					w = 1
+				}
+				if err := th.AddClass(t.Name, w); err != nil {
+					panic(fmt.Sprintf("bench: scenario %s: tenant class %s: %v", cfg.Name, t.Name, err))
+				}
+			}
+			throttles[node] = th
+		}
+		return th
+	}
+
+	for _, sg := range scenarioGroups(cfg, stream) {
+		set := sg.set
+		tenant := sg.tenant
 		gk := key(set)
 		pendingOf[gk] = make(map[int]*writeRec)
 		sizesOf[gk] = len(set)
@@ -256,6 +303,12 @@ func replayStream(cfg scenario.Config, stream *scenario.Stream, spec replaySpec)
 					},
 					Failure: func(error) { failures++ },
 				},
+			}
+			if th := throttleFor(int(m)); th != nil {
+				if err := th.BindGroup(id, tenant); err != nil {
+					panic(fmt.Sprintf("bench: scenario %s: bind group %v: %v", cfg.Name, set, err))
+				}
+				gc.Throttle = th
 			}
 			g, err := d.grid.Engine(int(m)).CreateGroup(id, members, gc)
 			if err != nil {

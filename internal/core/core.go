@@ -46,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rdmc/internal/obs"
@@ -173,11 +174,13 @@ type Engine struct {
 	mu     sync.Mutex // creation/close gate; see the package comment
 	closed bool
 
-	// failObs, when non-nil, observes every externally reported node
-	// failure (NotifyFailure) after group-level handling — the hook a
-	// membership layer uses to wedge its sessions. Installed before any
-	// engine activity via SetFailureObserver.
-	failObs func(rdma.NodeID)
+	// failObs holds the externally reported failure observers — the hooks
+	// membership layers use to wedge their sessions. Copy-on-write under
+	// failMu so NotifyFailure reads the list with one atomic load while
+	// sessions subscribe and unsubscribe concurrently (a multi-tenant node
+	// churns many sessions over one engine).
+	failMu  sync.Mutex
+	failObs atomic.Pointer[[]*failureObserver]
 
 	// eobs is the engine's observability sink; nil (the default) disables
 	// all instrumentation. Installed via SetObserver before any activity.
@@ -228,11 +231,68 @@ func (e *Engine) NodeID() rdma.NodeID { return e.provider.NodeID() }
 // events on the same timeline as the protocol.
 func (e *Engine) Now() time.Duration { return e.host.Now() }
 
-// SetFailureObserver installs (or, with nil, removes) a callback run on every
-// node failure reported through NotifyFailure, after the engine's own groups
-// have handled it. Like SetObserver it must be installed before activity:
-// the pointer is read without synchronization on the notification path.
-func (e *Engine) SetFailureObserver(fn func(rdma.NodeID)) { e.failObs = fn }
+// failureObserver is one subscription's identity: removal matches on the
+// box, not the function value, so identical callbacks stay distinguishable.
+type failureObserver struct {
+	fn func(rdma.NodeID)
+}
+
+// AddFailureObserver subscribes a callback to every node failure reported
+// through NotifyFailure, after the engine's own groups have handled it. It
+// returns the unsubscribe function. Safe to call at any time, concurrently
+// with notifications: the observer list is copy-on-write and notification
+// reads it with a single atomic load. Observers must not block; they run on
+// the notification path.
+func (e *Engine) AddFailureObserver(fn func(rdma.NodeID)) (remove func()) {
+	ob := &failureObserver{fn: fn}
+	e.failMu.Lock()
+	e.failObs.Store(appendObservers(e.failObs.Load(), ob))
+	e.failMu.Unlock()
+	return func() {
+		e.failMu.Lock()
+		e.failObs.Store(removeObserver(e.failObs.Load(), ob))
+		e.failMu.Unlock()
+	}
+}
+
+// SetFailureObserver replaces every subscription with the single callback fn
+// (nil clears the list) — the pre-multi-tenancy interface, kept for callers
+// that own the whole engine.
+func (e *Engine) SetFailureObserver(fn func(rdma.NodeID)) {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	if fn == nil {
+		e.failObs.Store(nil)
+		return
+	}
+	list := []*failureObserver{{fn: fn}}
+	e.failObs.Store(&list)
+}
+
+func appendObservers(cur *[]*failureObserver, ob *failureObserver) *[]*failureObserver {
+	var next []*failureObserver
+	if cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, ob)
+	return &next
+}
+
+func removeObserver(cur *[]*failureObserver, ob *failureObserver) *[]*failureObserver {
+	if cur == nil {
+		return nil
+	}
+	next := make([]*failureObserver, 0, len(*cur))
+	for _, o := range *cur {
+		if o != ob {
+			next = append(next, o)
+		}
+	}
+	if len(next) == 0 {
+		return nil
+	}
+	return &next
+}
 
 // Errors returned by the engine.
 var (
@@ -277,14 +337,19 @@ func (e *Engine) Close() error {
 	// Engine.mu → Group.mu is the documented ordering; holding the gate
 	// here keeps teardown atomic with the closed flag so no new group can
 	// slip in behind the sweep.
+	var cbs []func()
 	e.groups.Range(func(_, v any) bool {
 		g := v.(*Group)
 		g.mu.Lock()
-		g.teardownLocked()
+		cbs = append(cbs, g.teardownLocked()...)
 		g.mu.Unlock()
 		return true
 	})
 	e.mu.Unlock()
+	// Throttle resumes collected during the sweep target groups already
+	// torn down; running them is harmless (the state machine sees
+	// stateClosed) but keeps the throttle contract uniform.
+	runAll(cbs)
 	return e.provider.Close()
 }
 
@@ -303,9 +368,24 @@ func (e *Engine) NotifyFailure(node rdma.NodeID) {
 		runAll(cbs)
 		return true
 	})
-	if fn := e.failObs; fn != nil {
-		fn(node)
+	if obs := e.failObs.Load(); obs != nil {
+		for _, ob := range *obs {
+			ob.fn(node)
+		}
 	}
+}
+
+// NumGroups reports the number of routable groups. Wedged and torn-down
+// groups leave the table immediately, so a churning workload that tears all
+// its groups down must see this return to zero — the leak check a
+// multi-tenant service runs after group churn.
+func (e *Engine) NumGroups() int {
+	n := 0
+	e.groups.Range(func(_, _ any) bool {
+		n++
+		return true
+	})
+	return n
 }
 
 // group resolves a group id through the read-mostly table.

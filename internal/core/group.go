@@ -58,6 +58,10 @@ type GroupConfig struct {
 	Callbacks Callbacks
 	// RecordStats enables per-message timing capture (Table 1, Figure 5).
 	RecordStats bool
+	// Throttle, when non-nil, rations this group's outbound bytes against
+	// the other groups sharing the NIC (see SendThrottle). Nil means
+	// unthrottled — the receiver-credit path alone paces the group.
+	Throttle SendThrottle
 }
 
 // Group is one RDMC multicast session: a static member list whose first
@@ -97,6 +101,12 @@ type Group struct {
 	postedSends     uint64
 	lastStallCredit uint64
 	lastPostedSends uint64
+
+	// Cross-group throttle accounting: bytes of send budget currently held
+	// (acquired for posted-but-incomplete sends) and how often the throttle
+	// refused a send the credit path had already licensed.
+	throttleHeld  int
+	stallThrottle uint64
 
 	// Notice deferral: while a completion batch is being processed (see
 	// Engine.onCompletionBatch), outbound ready-for-block notices merge
@@ -303,16 +313,16 @@ func (g *Group) Destroy(done func(err error)) {
 		cbs = append(cbs, func() { done(ErrGroupClosed) })
 	case g.state == stateFailed:
 		err := g.failure
-		g.teardownLocked()
+		cbs = append(cbs, g.teardownLocked()...)
 		cbs = append(cbs, func() { done(err) })
 	case g.rank != 0:
-		g.teardownLocked()
+		cbs = append(cbs, g.teardownLocked()...)
 		cbs = append(cbs, func() { done(nil) })
 	default:
 		g.closeTotal = g.seq
 		g.closeCb = done
 		if len(g.members) == 1 {
-			g.teardownLocked()
+			cbs = append(cbs, g.teardownLocked()...)
 			cbs = append(cbs, func() { done(nil) })
 			break
 		}
@@ -325,13 +335,15 @@ func (g *Group) Destroy(done func(err error)) {
 }
 
 // teardownLocked releases the group's transport resources and removes it
-// from the engine.
-func (g *Group) teardownLocked() {
+// from the engine. The returned callbacks (throttle resumes for other groups
+// unblocked by the departure) must run after the lock is dropped.
+func (g *Group) teardownLocked() []func() {
 	g.state = stateClosed
 	for _, qp := range g.qps {
 		_ = qp.Close()
 	}
 	g.engine.groups.Delete(g.id)
+	return g.dropThrottleLocked()
 }
 
 // PendingSend is one queued message captured by Wedge: assigned its sequence
@@ -367,7 +379,6 @@ type DrainState struct {
 // suspicions. Call CloseConnections once every survivor has wedged.
 func (g *Group) Wedge() DrainState {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	ds := DrainState{
 		Delivered:   g.delivered,
 		NextSeq:     g.seq,
@@ -395,6 +406,11 @@ func (g *Group) Wedge() DrainState {
 	g.current = nil
 	g.pending = nil
 	g.closeCb = nil
+	// Sends frozen mid-flight never complete (their completions are dropped
+	// once the id leaves the routing table), so hand their budget back now.
+	cbs := g.dropThrottleLocked()
+	g.mu.Unlock()
+	runAll(cbs)
 	return ds
 }
 
@@ -408,6 +424,16 @@ func (g *Group) CloseConnections() {
 		_ = qp.Close()
 	}
 	g.qps = make(map[int]rdma.QueuePair)
+}
+
+// OpenConnections reports the group's live queue pairs — zero once
+// CloseConnections has run. Teardown-leak checks assert on it: a group that
+// left the engine's routing table but still holds queue pairs is dataplane
+// state leaked per Storm's scaling lesson.
+func (g *Group) OpenConnections() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.qps)
 }
 
 // rankOf returns the rank of a node, or -1.
@@ -513,6 +539,10 @@ func (g *Group) failLocked(node rdma.NodeID, relay bool) []func() {
 	g.failure = &FailureError{Group: g.id, Node: node}
 	g.current = nil
 	g.pending = nil
+	// A failed group's in-flight sends will never report completion to the
+	// state machine; release their throttle budget so surviving groups are
+	// not starved by a dead one's reservation.
+	cbs = append(cbs, g.dropThrottleLocked()...)
 	if fn := g.cfg.Callbacks.Failure; fn != nil {
 		err := g.failure
 		cbs = append(cbs, func() { fn(err) })
@@ -617,14 +647,14 @@ func (g *Group) onCtrlLocked(from rdma.NodeID, m CtrlMsg) []func() {
 			for rank := 1; rank < len(g.members); rank++ {
 				g.ctrlTo(rank, CtrlMsg{Kind: CtrlDestroyed, Group: g.id})
 			}
-			g.teardownLocked()
-			return []func(){func() { cb(nil) }}
+			cbs := g.teardownLocked()
+			return append(cbs, func() { cb(nil) })
 		}
 		return nil
 
 	case CtrlDestroyed:
 		if g.state != stateClosed {
-			g.teardownLocked()
+			return g.teardownLocked()
 		}
 		return nil
 

@@ -1,0 +1,199 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"rdmc/internal/core"
+	"rdmc/internal/rdma"
+)
+
+// meteredThrottle is a test SendThrottle with a fixed byte capacity and a
+// single FIFO of stalled groups. It counts every hook invocation so the tests
+// can assert the engine calls Acquire/Release symmetrically and never leaks
+// held bytes past teardown.
+type meteredThrottle struct {
+	mu        sync.Mutex
+	capacity  int
+	inFlight  int
+	waiters   []meteredWaiter
+	acquires  int
+	refusals  int
+	releases  int
+	forgets   int
+	maxHeld   int
+	heldBy    map[core.GroupID]int
+	forgotten map[core.GroupID]bool
+}
+
+type meteredWaiter struct {
+	g      core.GroupID
+	bytes  int
+	resume func()
+}
+
+func newMeteredThrottle(capacity int) *meteredThrottle {
+	return &meteredThrottle{
+		capacity:  capacity,
+		heldBy:    make(map[core.GroupID]int),
+		forgotten: make(map[core.GroupID]bool),
+	}
+}
+
+func (m *meteredThrottle) Acquire(g core.GroupID, bytes int, resume func()) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.acquires++
+	if m.inFlight > 0 && m.inFlight+bytes > m.capacity {
+		m.refusals++
+		for i := range m.waiters {
+			if m.waiters[i].g == g {
+				m.waiters[i] = meteredWaiter{g: g, bytes: bytes, resume: resume}
+				return false
+			}
+		}
+		m.waiters = append(m.waiters, meteredWaiter{g: g, bytes: bytes, resume: resume})
+		return false
+	}
+	m.inFlight += bytes
+	m.heldBy[g] += bytes
+	if m.inFlight > m.maxHeld {
+		m.maxHeld = m.inFlight
+	}
+	return true
+}
+
+func (m *meteredThrottle) Release(g core.GroupID, bytes int) []func() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releases++
+	m.inFlight -= bytes
+	m.heldBy[g] -= bytes
+	return m.drainLocked()
+}
+
+func (m *meteredThrottle) Forget(g core.GroupID) []func() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.forgets++
+	m.forgotten[g] = true
+	kept := m.waiters[:0]
+	for _, w := range m.waiters {
+		if w.g != g {
+			kept = append(kept, w)
+		}
+	}
+	m.waiters = kept
+	return m.drainLocked()
+}
+
+func (m *meteredThrottle) drainLocked() []func() {
+	var cbs []func()
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		if m.inFlight > 0 && m.inFlight+w.bytes > m.capacity {
+			break
+		}
+		m.waiters = m.waiters[1:]
+		m.inFlight += w.bytes
+		m.heldBy[w.g] += w.bytes
+		if m.inFlight > m.maxHeld {
+			m.maxHeld = m.inFlight
+		}
+		// The engine re-Acquires on resume, so the drain's reservation here
+		// would double-count; hand the budget back and let the re-Acquire
+		// take it on the fast path.
+		m.inFlight -= w.bytes
+		m.heldBy[w.g] -= w.bytes
+		cbs = append(cbs, w.resume)
+	}
+	return cbs
+}
+
+func (m *meteredThrottle) snapshot() (acquires, refusals, releases, inFlight int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.acquires, m.refusals, m.releases, m.inFlight
+}
+
+// TestThrottleGatesAndReleasesSymmetrically runs two groups through a
+// byte-capacity throttle that can hold only one block at a time: both
+// messages must still deliver everywhere (stalls resume, not deadlock), the
+// throttle must end with zero bytes in flight, and refusals must actually
+// have happened (the gate was exercised, not bypassed).
+func TestThrottleGatesAndReleasesSymmetrically(t *testing.T) {
+	grid := testGrid(t, 4)
+	th := newMeteredThrottle(4096) // exactly one block
+
+	cfg := core.GroupConfig{BlockSize: 4096, SendWindow: 4, Throttle: th}
+	groupsA, statesA := makeGroup(t, grid, 1, cfg, true)
+	groupsB, statesB := makeGroup(t, grid, 2, cfg, true)
+
+	msg := make([]byte, 64<<10) // 16 blocks each
+	for i := range msg {
+		msg[i] = byte(i)
+	}
+	if err := groupsA[0].Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := groupsB[0].Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	grid.Run()
+
+	for i := 1; i < 4; i++ {
+		if len(statesA[i].delivered) != 1 || len(statesB[i].delivered) != 1 {
+			t.Fatalf("node %d: delivered A=%d B=%d, want 1 and 1",
+				i, len(statesA[i].delivered), len(statesB[i].delivered))
+		}
+	}
+	acquires, refusals, releases, inFlight := th.snapshot()
+	if inFlight != 0 {
+		t.Errorf("throttle still holds %d bytes after both transfers delivered", inFlight)
+	}
+	if refusals == 0 {
+		t.Error("throttle never refused a send: capacity gate was not exercised")
+	}
+	if got := acquires - refusals; got != releases {
+		t.Errorf("granted %d acquires but saw %d releases", got, releases)
+	}
+	if th.maxHeld > 4096 {
+		t.Errorf("in-flight bytes peaked at %d, above the %d capacity", th.maxHeld, 4096)
+	}
+	for _, g := range append(groupsA, groupsB...) {
+		g.Destroy(nil)
+	}
+	grid.Run()
+	if _, _, _, inFlight = th.snapshot(); inFlight != 0 {
+		t.Errorf("throttle holds %d bytes after Destroy", inFlight)
+	}
+}
+
+// TestThrottleReleasedOnFailure wedges a throttled transfer mid-flight by
+// failing a member, then checks the failed group handed back every held byte
+// and was forgotten — a dead group must not pin the shared budget.
+func TestThrottleReleasedOnFailure(t *testing.T) {
+	grid := testGrid(t, 4)
+	th := newMeteredThrottle(8192)
+	cfg := core.GroupConfig{BlockSize: 4096, SendWindow: 4, Throttle: th}
+	groups, states := makeGroup(t, grid, 7, cfg, true)
+
+	if err := groups[0].Send(make([]byte, 256<<10)); err != nil {
+		t.Fatal(err)
+	}
+	// Fail a receiver early so the transfer dies with sends outstanding.
+	grid.Sim().At(10e-6, func() { grid.Engine(0).NotifyFailure(rdma.NodeID(3)) })
+	grid.Run()
+
+	if len(states[0].failures) == 0 {
+		t.Fatal("root never observed the failure")
+	}
+	th.mu.Lock()
+	defer th.mu.Unlock()
+	if held := th.heldBy[core.GroupID(7)]; held != 0 {
+		t.Errorf("failed group still holds %d bytes of send budget", held)
+	}
+	if !th.forgotten[core.GroupID(7)] {
+		t.Error("failed group was never forgotten by the throttle")
+	}
+}

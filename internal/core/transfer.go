@@ -365,6 +365,14 @@ func (t *transfer) pumpSendsLocked() []func() {
 			g.stallCredit++
 			return nil
 		}
+		// Last gate: cross-group send budget. The block has cleared the
+		// schedule, presence, and receiver-credit gates; the throttle now
+		// decides whether this group may put its bytes on the shared port.
+		// A refusal stalls the pump exactly like a missing credit — the
+		// throttle's resume callback re-enters it when budget frees up.
+		if !g.acquireThrottleLocked(t.blockLen(tr.Block)) {
+			return nil
+		}
 		qp, err := g.qpTo(tr.To)
 		if err != nil {
 			return g.failLocked(g.members[tr.To], true)
@@ -425,13 +433,19 @@ func (t *transfer) sendDoneLocked(idx int) []func() {
 	}
 	tr := t.np.Sends[idx]
 	t.g.obsEvent(obs.EvSendDone, t.seq, tr.Block, tr.To, 0)
+	// The send's bytes leave the wire: return them to the cross-group
+	// budget. Resumes for other groups run after this group's lock drops.
+	resumes := t.g.releaseThrottleLocked(t.blockLen(tr.Block))
 	if cbs := t.pumpSendsLocked(); cbs != nil {
-		return cbs
+		return append(resumes, cbs...)
 	}
 	if t.g.rank == 0 {
 		t.g.maybeReplanLocked()
 	}
-	return t.maybeDeliverLocked()
+	if cbs := t.maybeDeliverLocked(); cbs != nil {
+		return append(resumes, cbs...)
+	}
+	return resumes
 }
 
 func (t *transfer) recvDoneLocked(idx int, c rdma.Completion) []func() {

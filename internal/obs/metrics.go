@@ -51,6 +51,38 @@ func (c *Counter) Load() uint64 {
 	return c.v.Load()
 }
 
+// Gauge is an instantaneous level — a value that goes up and down, like the
+// number of resident plan-cache entries or queued bytes. The zero value is
+// ready to use; a nil *Gauge discards every operation, matching Counter's
+// disabled-instrumentation fast path.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the current level. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the level by d (which may be negative). No-op on a nil receiver.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Load returns the current level (zero on a nil receiver).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // Histogram is a fixed-bucket histogram of int64 observations (latencies in
 // nanoseconds, sizes in bytes or elements). Bounds are inclusive upper bucket
 // edges; one implicit overflow bucket catches everything beyond the last
@@ -122,6 +154,7 @@ func ExpBuckets(start int64, factor float64, n int) []int64 {
 type Registry struct {
 	mu     sync.Mutex
 	counts map[string]*Counter
+	gauges map[string]*Gauge
 	hists  map[string]*Histogram
 }
 
@@ -129,6 +162,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
 	}
 }
@@ -147,6 +181,22 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counts[name] = c
 	}
 	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the named histogram, creating it with the given bounds on
@@ -179,6 +229,7 @@ type HistogramSnapshot struct {
 // Snapshot is a point-in-time copy of every instrument in a registry.
 type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
@@ -198,6 +249,12 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 	for name, c := range r.counts {
 		s.Counters[name] = c.Load()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Load()
+		}
 	}
 	for name, h := range r.hists {
 		hs := HistogramSnapshot{

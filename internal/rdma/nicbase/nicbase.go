@@ -162,6 +162,19 @@ func (b *Base) RegisterRegion(id rdma.RegionID, buf []byte) error {
 	return nil
 }
 
+// UnregisterRegion withdraws a region and its watcher: later inbound writes
+// to the id are dropped silently (the sender's completion still succeeds, as
+// with a real NIC racing a deregistration) and the watcher closure is
+// released. Session-style layers that register a region per instance must
+// call this on teardown or every churned-through instance stays reachable
+// from the provider through its watcher.
+func (b *Base) UnregisterRegion(id rdma.RegionID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.regions, id)
+	delete(b.watchers, id)
+}
+
 // Region implements rdma.Provider.
 func (b *Base) Region(id rdma.RegionID) []byte {
 	b.mu.Lock()

@@ -883,11 +883,25 @@ func (q *queuePair) breakConn() {
 	}
 	// Otherwise the send ring is left for the writer to clear: it may be
 	// reading the queued run without the lock mid-writev.
+	leased := q.leased
 	q.cond.Broadcast()
 	q.mu.Unlock()
 
 	if conn != nil {
 		_ = conn.Close()
+	}
+	if len(broken) == 0 && leased == 0 {
+		// An idle endpoint breaking flushes no work, but the layer above
+		// still has to learn the peer is gone: a peer that closes between
+		// transfers would otherwise vanish silently, and a group gated on
+		// its readiness credit would wait forever (nothing is ever posted to
+		// the broken pair, so no ErrBroken surfaces either). Real NICs raise
+		// an async event when a queue pair enters the error state; the
+		// synthetic completion below is that event, carrying the endpoint
+		// identity and no work request.
+		broken = append(broken, rdma.Completion{
+			Op: rdma.OpRecv, Status: rdma.StatusBroken, Peer: q.peer, Token: q.token, WRID: ^uint64(0),
+		})
 	}
 	q.p.CompleteBatch(broken)
 }

@@ -231,6 +231,38 @@ func TestPeerCloseBreaksOutstandingWork(t *testing.T) {
 	}
 }
 
+// TestPeerCloseOnIdleQueuePairSignalsBreak pins the async-event analogue: a
+// peer that closes while the local endpoint has NOTHING posted must still
+// surface exactly one StatusBroken completion carrying the endpoint identity,
+// or layers gated on that peer's credit wait forever (found by the
+// many-session churn soak: a departed group member was undetectable until
+// something happened to be in flight).
+func TestPeerCloseOnIdleQueuePairSignalsBreak(t *testing.T) {
+	a, b, _, sb := newPair(t)
+	qa, _ := a.Connect(1, 77)
+	qb, _ := b.Connect(0, 77)
+	// One round trip so the connection is established and fully drained.
+	if err := qb.PostRecv(rdma.SizeBuffer(8), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSend(rdma.SizeBuffer(8), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sb.waitN(t, 1)
+
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.waitN(t, 2)
+	c := got[1]
+	if c.Status != rdma.StatusBroken || c.Peer != 0 || c.Token != 77 {
+		t.Errorf("idle break completion = %+v, want broken from peer 0 token 77", c)
+	}
+	if err := qb.PostSend(rdma.SizeBuffer(1), 0, 2); err != rdma.ErrBroken {
+		t.Errorf("post after idle break: err = %v, want ErrBroken", err)
+	}
+}
+
 func TestPostWithoutHandler(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -162,12 +162,13 @@ func MixedTenants() Config {
 		Sizes:   SizeConfig{Kind: SizeLognormal, MedianBytes: 4 * mib, MeanBytes: 8 * mib},
 		Groups:  GroupConfig{Kind: GroupKofN, K: 3, N: 15, Base: 1, Root: []int{0}},
 		Tenants: []Tenant{
-			{Name: "bulk", Weight: 1},
+			{Name: "bulk", Weight: 1, QoSWeight: 1},
 			{
-				Name:   "meta",
-				Weight: 3,
-				Sizes:  &SizeConfig{Kind: SizeFixed, Bytes: 16 * kib},
-				Groups: &GroupConfig{Kind: GroupKofN, K: 2, N: 15, Base: 1, Root: []int{0}},
+				Name:      "meta",
+				Weight:    3,
+				QoSWeight: 3,
+				Sizes:     &SizeConfig{Kind: SizeFixed, Bytes: 16 * kib},
+				Groups:    &GroupConfig{Kind: GroupKofN, K: 2, N: 15, Base: 1, Root: []int{0}},
 			},
 		},
 		Replay: Replay{
@@ -177,6 +178,18 @@ func MixedTenants() Config {
 			QuickWrites: 120,
 		},
 	}
+}
+
+// MixedTenantsQoS is MixedTenants with the per-node weighted-fair send
+// throttle turned on: every node's groups share a 256 KiB in-flight budget,
+// drained 3:1 in favor of the chatty metadata tenant. Same seed, so the
+// compiled stream is byte-identical to mixed-tenants — only the replay
+// contends through the service layer's QoS path.
+func MixedTenantsQoS() Config {
+	cfg := MixedTenants()
+	cfg.Name = "mixed-tenants-qos"
+	cfg.Replay.ThrottleBytes = 256 * kib
+	return cfg
 }
 
 // Churn is a membership-churn schedule: a 5-node roster hands off to an
@@ -254,7 +267,7 @@ func AdaptiveCrossTraffic() Config {
 
 // LibraryNames lists the shipped scenario configs in presentation order.
 func LibraryNames() []string {
-	return []string{"cosmos", "fig8", "smc", "failover-crash-root", "mixed-tenants", "churn", "adaptive-crosstraffic"}
+	return []string{"cosmos", "fig8", "smc", "failover-crash-root", "mixed-tenants", "mixed-tenants-qos", "churn", "adaptive-crosstraffic"}
 }
 
 // Library returns the shipped scenario configs by name — the set the
@@ -273,6 +286,7 @@ func Library() map[string]Config {
 		"smc":                   smc,
 		"failover-crash-root":   fo,
 		"mixed-tenants":         MixedTenants(),
+		"mixed-tenants-qos":     MixedTenantsQoS(),
 		"churn":                 Churn(),
 		"adaptive-crosstraffic": AdaptiveCrossTraffic(),
 	}

@@ -129,6 +129,11 @@ type Tenant struct {
 	Weight float64      `json:"weight"`
 	Sizes  *SizeConfig  `json:"sizes,omitempty"`
 	Groups *GroupConfig `json:"groups,omitempty"`
+	// QoSWeight is the tenant's weighted-fair share of each node's send
+	// budget when the replay throttles (Replay.ThrottleBytes > 0); zero
+	// selects 1. Replay-only: Compile never reads it, so adding a QoS
+	// weight to an existing scenario leaves its stream byte-identical.
+	QoSWeight int `json:"qos_weight,omitempty"`
 }
 
 // Fault kinds (the chaos harness executes these; see internal/chaos).
@@ -192,6 +197,12 @@ type Replay struct {
 	RecvWindow int `json:"recv_window,omitempty"`
 	// QuickWrites caps Writes at quick scale; zero keeps Writes.
 	QuickWrites int `json:"quick_writes,omitempty"`
+	// ThrottleBytes, for mixed-tenant scenarios, is each node's send
+	// budget: how many bytes of block payload all its groups together may
+	// hold in flight, drained weighted-fair across tenants by QoSWeight.
+	// Zero replays unthrottled. Replay-only: the compiled stream is
+	// identical either way.
+	ThrottleBytes int `json:"throttle_bytes,omitempty"`
 }
 
 // Config is one complete scenario. The zero-value subfields select the
@@ -250,12 +261,18 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if c.Replay.ThrottleBytes < 0 {
+		return fmt.Errorf("scenario %s: throttle_bytes must be non-negative, got %d", c.Name, c.Replay.ThrottleBytes)
+	}
 	for _, t := range c.Tenants {
 		if t.Name == "" {
 			return fmt.Errorf("scenario %s: tenant missing name", c.Name)
 		}
 		if t.Weight <= 0 {
 			return fmt.Errorf("scenario %s: tenant %s weight must be positive", c.Name, t.Name)
+		}
+		if t.QoSWeight < 0 {
+			return fmt.Errorf("scenario %s: tenant %s qos_weight must be non-negative, got %d", c.Name, t.Name, t.QoSWeight)
 		}
 		sizes, groups := c.Sizes, c.Groups
 		if t.Sizes != nil {

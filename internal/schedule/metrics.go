@@ -17,6 +17,11 @@ type Metrics struct {
 	// table; CacheMiss counts the lookups that had to compute it.
 	CacheHit  *obs.Counter
 	CacheMiss *obs.Counter
+	// CacheSize tracks the resident plan-table count (the
+	// schedule.plan_cache_size gauge); CacheEvict counts tables removed by
+	// the clock sweep that keeps the cache under its cap.
+	CacheSize  *obs.Gauge
+	CacheEvict *obs.Counter
 }
 
 // metrics is the installed hook; an atomic pointer so SetMetrics may race
@@ -27,11 +32,16 @@ var metrics atomic.Pointer[Metrics]
 // Typically wired as:
 //
 //	schedule.SetMetrics(&schedule.Metrics{
-//	    FastPath:  reg.Counter("schedule.nodeplan_fast"),
-//	    CacheHit:  reg.Counter("schedule.plan_cache_hits"),
-//	    CacheMiss: reg.Counter("schedule.plan_cache_misses"),
+//	    FastPath:   reg.Counter("schedule.nodeplan_fast"),
+//	    CacheHit:   reg.Counter("schedule.plan_cache_hits"),
+//	    CacheMiss:  reg.Counter("schedule.plan_cache_misses"),
+//	    CacheSize:  reg.Gauge("schedule.plan_cache_size"),
+//	    CacheEvict: reg.Counter("schedule.plan_cache_evictions"),
 //	})
-func SetMetrics(m *Metrics) { metrics.Store(m) }
+func SetMetrics(m *Metrics) {
+	metrics.Store(m)
+	planCacheGauge()
+}
 
 // planFast records one closed-form NodePlan answer.
 func planFast() {
@@ -50,5 +60,19 @@ func planCacheOutcome(computed bool) {
 		m.CacheMiss.Inc()
 	} else {
 		m.CacheHit.Inc()
+	}
+}
+
+// planCacheGauge publishes the resident plan-table count.
+func planCacheGauge() {
+	if m := metrics.Load(); m != nil {
+		m.CacheSize.Set(planCacheLen.Load())
+	}
+}
+
+// planCacheEvicted records one clock-sweep eviction.
+func planCacheEvicted() {
+	if m := metrics.Load(); m != nil {
+		m.CacheEvict.Inc()
 	}
 }

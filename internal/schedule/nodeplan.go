@@ -3,6 +3,7 @@ package schedule
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // This file holds the rank-local planning fast paths: the per-rank closed
@@ -28,37 +29,124 @@ type planKey struct {
 	aux    string
 }
 
-// planCacheEntry is filled exactly once; plans is immutable afterwards.
+// planCacheEntry is filled exactly once; plans is immutable afterwards. ref
+// is the clock hand's second-chance bit — set on every lookup, cleared by an
+// eviction sweep; done guards the evictor from removing an entry whose
+// computation is still in flight (its plans slice is not yet published).
 type planCacheEntry struct {
 	once  sync.Once
 	plans []NodePlan
+	ref   atomic.Bool
+	done  atomic.Bool
 }
 
 // planCache is the process-wide, single-flight cache of per-rank plan tables
 // for generators with no per-rank closed form (the circulant pipeline at
-// non-power-of-two sizes, the hybrid). It is shared across every engine and
-// group in the process: when hundreds of members of one simulated group all
-// need the same (algorithm, n, k) plan, exactly one of them computes it and
-// the rest take slices of the same immutable table. Entries live for the
-// process lifetime — plan tables are small (O(n·k) transfers) and the set of
-// distinct geometries a process touches is bounded by its workload.
-var planCache sync.Map // planKey → *planCacheEntry
+// non-power-of-two sizes, the hybrid, the masked adaptive shapes). It is
+// shared across every engine and group in the process: when hundreds of
+// members of one simulated group all need the same (algorithm, n, k) plan,
+// exactly one of them computes it and the rest take slices of the same
+// immutable table.
+//
+// The cache is bounded: a multi-tenant service churns k-of-n draws through
+// arbitrarily many distinct geometries, so "the set of distinct geometries a
+// process touches" is NOT bounded by any one workload. Resident entries are
+// capped at planCacheCap with a clock (second-chance) sweep — lookups stay
+// lock-free; only the rare over-cap insert takes the eviction mutex. Evicting
+// an entry another goroutine still holds is safe (the table is immutable and
+// garbage-collected once the holder drops it); a re-miss simply recomputes.
+var (
+	planCache    sync.Map // planKey → *planCacheEntry
+	planCacheLen atomic.Int64
+	planCacheCap atomic.Int64
+	planEvictMu  sync.Mutex
+)
+
+// DefaultPlanCacheCap bounds the resident plan tables. The adaptive planner's
+// masked shapes already rely on a bounded key space per geometry (a handful of
+// hysteresis buckets); this cap applies the same discipline globally. 512
+// tables at O(n·k) transfers each is a few tens of MB worst-case — far below
+// what an unbounded map reaches under group churn — while still covering every
+// geometry any single benchmark or deployment revisits.
+const DefaultPlanCacheCap = 512
+
+func init() { planCacheCap.Store(DefaultPlanCacheCap) }
+
+// SetPlanCacheCap overrides the resident-entry cap (n <= 0 restores the
+// default). Intended for tests and capacity experiments; safe to call
+// concurrently with planning.
+func SetPlanCacheCap(n int) {
+	if n <= 0 {
+		n = DefaultPlanCacheCap
+	}
+	planCacheCap.Store(int64(n))
+}
+
+// PlanCacheSize reports the resident plan-table count — the value exported as
+// the schedule.plan_cache_size gauge.
+func PlanCacheSize() int { return int(planCacheLen.Load()) }
 
 // cachedNodePlan returns rank's slice of the plan identified by key,
-// computing the full plan at most once per process (concurrent callers for
+// computing the full plan at most once per residency (concurrent callers for
 // the same key block on the first computation; distinct keys do not
 // interact). The returned NodePlan aliases the shared table and must be
 // treated as immutable.
 func cachedNodePlan(key planKey, rank int, plan func() Plan) NodePlan {
-	e, _ := planCache.LoadOrStore(key, &planCacheEntry{})
+	e, loaded := planCache.LoadOrStore(key, &planCacheEntry{})
 	entry := e.(*planCacheEntry)
+	if !loaded {
+		if n := planCacheLen.Add(1); n > planCacheCap.Load() {
+			evictPlanCache()
+		}
+		planCacheGauge()
+	}
 	computed := false
 	entry.once.Do(func() {
 		entry.plans = plan().PerNode()
+		entry.done.Store(true)
 		computed = true
 	})
+	// The reference bit is set on hits only: a fresh insert starts cold, so
+	// one-shot churn entries are the sweep's first victims and an entry that
+	// is genuinely re-looked-up always survives the bit-clearing pass. (If
+	// inserts started hot, a sweep landing while every entry is fresh would
+	// clear all bits without evicting and fall through to the force pass,
+	// whose sync.Map iteration order picks an arbitrary victim.)
+	if loaded {
+		entry.ref.Store(true)
+	}
 	planCacheOutcome(computed)
 	return entry.plans[rank]
+}
+
+// evictPlanCache runs the clock sweep until the cache is back under its cap.
+// One evictor at a time; concurrent inserts during a sweep are tolerated (the
+// next over-cap insert sweeps again). The first pass grants each referenced
+// entry its second chance by clearing the bit, the second evicts whatever
+// stayed cold, and the final pass force-evicts regardless of reference bits so
+// a fully-hot cache still converges. Entries whose computation is in flight
+// are never evicted.
+func evictPlanCache() {
+	planEvictMu.Lock()
+	defer planEvictMu.Unlock()
+	limit := planCacheCap.Load()
+	for pass := 0; pass < 3 && planCacheLen.Load() > limit; pass++ {
+		force := pass == 2
+		planCache.Range(func(k, v any) bool {
+			entry := v.(*planCacheEntry)
+			if !entry.done.Load() {
+				return true
+			}
+			if !force && entry.ref.CompareAndSwap(true, false) {
+				return true
+			}
+			planCache.Delete(k)
+			planCacheLen.Add(-1)
+			planCacheEvicted()
+			return planCacheLen.Load() > limit
+		})
+	}
+	planCacheGauge()
 }
 
 // NodePlan implements Generator. The root's sends and each receiver's

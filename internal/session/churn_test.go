@@ -1,0 +1,219 @@
+package session
+
+import (
+	"errors"
+	"testing"
+
+	"rdmc/internal/rdma"
+	"rdmc/internal/simhost"
+	"rdmc/internal/simnet"
+)
+
+// White-box teardown tests: a multi-tenant service churns sessions over one
+// engine, so a terminal session must leave nothing behind — no entry in the
+// engine's group table, no retired groups holding queue pairs, no failure
+// subscription, and a drop counter that never double-counts the queue.
+
+func churnGrid(t *testing.T, n int, seed int64) *simhost.Grid {
+	t.Helper()
+	g, err := simhost.New(simhost.Config{
+		Cluster: simnet.ClusterConfig{
+			Nodes:         n,
+			LinkBandwidth: 1e9,
+			Latency:       1e-6,
+			RetryTimeout:  1e-4,
+			CPU:           simnet.CPUConfig{Mode: simnet.ModePolling},
+		},
+		Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func churnSessions(t *testing.T, g *simhost.Grid, onState func(who int, s State)) []*Manager {
+	t.Helper()
+	members := make([]rdma.NodeID, g.Nodes())
+	for i := range members {
+		members[i] = rdma.NodeID(i)
+	}
+	ms := make([]*Manager, g.Nodes())
+	for i := range ms {
+		who := i
+		cfg := Config{ID: 500, Members: members, BlockSize: 4096, MetadataOnly: true}
+		cbs := Callbacks{}
+		if onState != nil {
+			cbs.OnState = func(s State, err error) { onState(who, s) }
+		}
+		m, err := New(g.Engine(i), g.Network().Provider(rdma.NodeID(i)), cfg, cbs)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		ms[i] = m
+	}
+	return ms
+}
+
+// assertTornDown checks every engine-side and provider-side resource of a
+// terminal session is released.
+func assertTornDown(t *testing.T, who int, m *Manager) {
+	t.Helper()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.group != nil {
+		t.Errorf("node %d: terminal session still owns a live group", who)
+	}
+	if len(m.retired) != 0 {
+		t.Errorf("node %d: %d retired groups still parked after teardown", who, len(m.retired))
+	}
+	if m.unobserve != nil {
+		t.Errorf("node %d: failure subscription still installed after teardown", who)
+	}
+	if n := m.engine.NumGroups(); n != 0 {
+		t.Errorf("node %d: engine group table still holds %d entries", who, n)
+	}
+}
+
+// TestEvictionTearsDownAndCountsDropsOnce drives a split-brain accusation:
+// node 0 wrongly suspects node 3 while the other three accuse node 0, so
+// node 0 wedges (queuing a send) and then concedes to the majority. The
+// evicted side must fully tear down — groups out of the engine table,
+// retired connections closed, failure subscription removed — and count its
+// queued send in Stats.Dropped exactly once, no matter how many further
+// terminal transitions (Close after eviction) run.
+func TestEvictionTearsDownAndCountsDropsOnce(t *testing.T) {
+	g := churnGrid(t, 4, 21)
+	var ms []*Manager
+	queued := false
+	ms = churnSessions(t, g, func(who int, s State) {
+		if who == 0 && s == StateWedged && !queued {
+			queued = true
+			if err := ms[0].SendSized(1024); err != nil {
+				t.Errorf("send while wedged: %v", err)
+			}
+		}
+	})
+	for i := 0; i < 3; i++ {
+		if err := ms[0].SendSized(2048); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All accusations land at the same instant: node 0 wedges on its own
+	// (local) suspicion of 3 and queues the send before the majority's
+	// one-hop-delayed rows accusing node 0 arrive and evict it.
+	g.Sim().At(1e-4, func() {
+		g.Engine(0).NotifyFailure(3)
+		for i := 1; i < 4; i++ {
+			g.Engine(i).NotifyFailure(0)
+		}
+	})
+	g.Run()
+
+	if !queued {
+		t.Fatal("node 0 never wedged")
+	}
+	st, err := ms[0].State()
+	if st != StateEvicted || !errors.Is(err, ErrEvicted) {
+		t.Fatalf("node 0 state = %v (%v), want evicted", st, err)
+	}
+	assertTornDown(t, 0, ms[0])
+	if d := ms[0].Stats().Dropped; d != 1 {
+		t.Fatalf("evicted node dropped %d queued sends, want exactly 1", d)
+	}
+	// A later Close must not recount the (already discarded) queue.
+	if err := ms[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := ms[0].Stats().Dropped; d != 1 {
+		t.Fatalf("close after eviction double-counted drops: %d", d)
+	}
+
+	// The survivors installed epoch 2; closing them must empty their
+	// engines too.
+	for i := 1; i < 4; i++ {
+		if e := ms[i].Epoch(); e != 2 {
+			t.Errorf("survivor %d epoch = %d, want 2", i, e)
+		}
+		if err := ms[i].Close(); err != nil {
+			t.Fatal(err)
+		}
+		assertTornDown(t, i, ms[i])
+	}
+}
+
+// TestCloseCountsQueuedSendsAsDropped pins the Close drop path: a root that
+// closes while wedged discards its queue and counts it — once.
+func TestCloseCountsQueuedSendsAsDropped(t *testing.T) {
+	g := churnGrid(t, 4, 22)
+	var ms []*Manager
+	done := false
+	ms = churnSessions(t, g, func(who int, s State) {
+		if who == 0 && s == StateWedged && !done {
+			done = true
+			for i := 0; i < 3; i++ {
+				if err := ms[0].SendSized(512); err != nil {
+					t.Errorf("send while wedged: %v", err)
+				}
+			}
+			if err := ms[0].Close(); err != nil {
+				t.Errorf("close while wedged: %v", err)
+			}
+		}
+	})
+	if err := ms[0].SendSized(4096); err != nil {
+		t.Fatal(err)
+	}
+	g.Sim().At(1e-4, func() { g.FailNode(3) })
+	g.Run()
+
+	if !done {
+		t.Fatal("root never wedged")
+	}
+	if d := ms[0].Stats().Dropped; d != 3 {
+		t.Fatalf("closed-while-wedged root dropped %d, want 3", d)
+	}
+	if err := ms[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := ms[0].Stats().Dropped; d != 3 {
+		t.Fatalf("second close double-counted drops: %d", d)
+	}
+	assertTornDown(t, 0, ms[0])
+}
+
+// TestSessionChurnLeavesEngineEmpty loops create → send → close across many
+// session generations on one set of engines, asserting the engine group
+// table returns to zero entries every generation — the group-churn leak
+// regression.
+func TestSessionChurnLeavesEngineEmpty(t *testing.T) {
+	g := churnGrid(t, 3, 23)
+	members := []rdma.NodeID{0, 1, 2}
+	const generations = 20
+	for gen := 0; gen < generations; gen++ {
+		id := uint32(600 + gen*8)
+		ms := make([]*Manager, 3)
+		for i := range ms {
+			m, err := New(g.Engine(i), g.Network().Provider(rdma.NodeID(i)),
+				Config{ID: id, Members: members, BlockSize: 4096, MetadataOnly: true}, Callbacks{})
+			if err != nil {
+				t.Fatalf("generation %d node %d: %v", gen, i, err)
+			}
+			ms[i] = m
+		}
+		if err := ms[0].SendSized(8192); err != nil {
+			t.Fatal(err)
+		}
+		g.Run()
+		for i, m := range ms {
+			if got := m.Delivered(); got != 1 {
+				t.Fatalf("generation %d node %d delivered %d, want 1", gen, i, got)
+			}
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+			assertTornDown(t, i, m)
+		}
+		g.Run() // drain the closes' fallout before the next generation
+	}
+}

@@ -166,6 +166,12 @@ type Config struct {
 	// MetadataOnly runs transfers without data buffers (simulation
 	// workloads); Deliver callbacks then carry nil data.
 	MetadataOnly bool
+	// Throttle, when non-nil, is handed to every epoch's core group so a
+	// multi-tenant service can ration the NIC's send budget across
+	// sessions (see core.SendThrottle). Epoch groups come and go across
+	// view changes; the core releases and forgets each retired epoch's
+	// budget, so the throttle only ever sees the live one.
+	Throttle core.SendThrottle
 	// Observer, when non-nil, instruments the session (counters
 	// session.epochs, session.resends and histogram session.recovery_ms,
 	// plus structured events).
@@ -199,8 +205,9 @@ type Stats struct {
 	Delivered uint64
 	// Duplicates counts re-sent messages suppressed at delivery.
 	Duplicates uint64
-	// Dropped counts queued sends discarded because the node lost the
-	// root role across a view change.
+	// Dropped counts queued sends discarded — because the node lost the
+	// root role across a view change, was evicted, or closed with sends
+	// still queued. Every discard path counts each entry exactly once.
 	Dropped uint64
 	// WedgedInFlight is the number of sends caught in flight by the most
 	// recent wedge.
@@ -256,13 +263,20 @@ type Manager struct {
 	resendDone bool
 	wedgedAt   time.Duration
 
+	// unobserve detaches this session's failure subscription from the
+	// engine; terminal transitions call it so a churned-through session
+	// leaves nothing behind on the engine.
+	unobserve func()
+
 	stats Stats
 }
 
 // New creates the local endpoint of a session. The provider must be the one
 // the engine runs on (the table registers memory and queue pairs beside the
-// groups'). New installs itself as the engine's failure observer; a session
-// and any other failure observer cannot share an engine.
+// groups'). New subscribes to the engine's failure notifications
+// (Engine.AddFailureObserver), so any number of sessions — and other
+// observers — may share one engine; the subscription is released when the
+// session reaches a terminal state.
 func New(engine *core.Engine, provider rdma.Provider, cfg Config, cbs Callbacks) (*Manager, error) {
 	if len(cfg.Members) < 2 || len(cfg.Members) > 64 {
 		return nil, fmt.Errorf("session: need 2..64 members, got %d", len(cfg.Members))
@@ -303,7 +317,7 @@ func New(engine *core.Engine, provider rdma.Provider, cfg Config, cbs Callbacks)
 		m.so.epochs.Inc()
 	}
 	m.setLocked(colInstalled, 1)
-	engine.SetFailureObserver(m.onNodeFailure)
+	m.unobserve = engine.AddFailureObserver(m.onNodeFailure)
 	return m, nil
 }
 
@@ -531,6 +545,50 @@ func (m *Manager) tryDecideLocked() []func() {
 	return m.installLocked(target, survivors)
 }
 
+// dropQueuedLocked discards the sends queued while wedged, counting each
+// entry in Stats.Dropped exactly once. Every path that abandons the queue
+// (losing the root role, eviction, close) goes through here, so the count and
+// the queue can never diverge and no entry is double-counted.
+func (m *Manager) dropQueuedLocked() {
+	if len(m.queued) == 0 {
+		return
+	}
+	m.stats.Dropped += uint64(len(m.queued))
+	m.queued = nil
+}
+
+// teardownLocked releases everything a terminal session holds on the engine
+// and provider: the failure subscription, the state table's queue pairs and
+// registered region, and the retired epochs' (plus the live group's) queue
+// pairs — returned as deferred actions so connections close outside the
+// lock. Eviction is terminal — the majority has wedged the shared epochs, so
+// closing is as quiet as the post-install close on the surviving side — and a
+// session that kept its connections parked forever would leak dataplane
+// state on every churned-through membership (Storm's lesson: per-connection
+// state is what breaks RDMA systems at scale).
+func (m *Manager) teardownLocked() []func() {
+	var actions []func()
+	if m.unobserve != nil {
+		un := m.unobserve
+		m.unobserve = nil
+		actions = append(actions, un)
+	}
+	gs := m.retired
+	m.retired = nil
+	if m.group != nil {
+		m.group.Wedge()
+		gs = append(gs, m.group)
+		m.group = nil
+	}
+	for _, g := range gs {
+		actions = append(actions, g.CloseConnections)
+	}
+	if m.table != nil {
+		actions = append(actions, m.table.Close)
+	}
+	return actions
+}
+
 // evictLocked concedes to the majority's verdict.
 func (m *Manager) evictLocked() []func() {
 	if m.state == StateEvicted || m.state == StateClosed {
@@ -538,14 +596,8 @@ func (m *Manager) evictLocked() []func() {
 	}
 	m.state = StateEvicted
 	m.err = ErrEvicted
-	if m.group != nil {
-		m.group.Wedge()
-		m.retired = append(m.retired, m.group)
-		m.group = nil
-	}
-	m.stats.Dropped += uint64(len(m.queued))
-	m.queued = nil
-	var actions []func()
+	actions := m.teardownLocked()
+	m.dropQueuedLocked()
 	if fn := m.cbs.OnState; fn != nil {
 		actions = append(actions, func() { fn(StateEvicted, ErrEvicted) })
 	}
@@ -598,9 +650,8 @@ func (m *Manager) installLocked(target uint64, survivors []int) []func() {
 	}
 	m.state = StateActive
 	m.barrier, m.resendDone = false, false
-	if !m.rootLocked() && len(m.queued) > 0 {
-		m.stats.Dropped += uint64(len(m.queued))
-		m.queued = nil
+	if !m.rootLocked() {
+		m.dropQueuedLocked()
 	}
 	m.stats.Epochs++
 	lat := m.engine.Now() - m.wedgedAt
@@ -626,6 +677,7 @@ func (m *Manager) createEpochGroupLocked() error {
 		Generator:  m.cfg.Generator,
 		SendWindow: m.cfg.SendWindow,
 		RecvWindow: m.cfg.RecvWindow,
+		Throttle:   m.cfg.Throttle,
 		Callbacks: core.Callbacks{
 			Completion: func(seq int, data []byte, size int) { m.onGroupDeliver(e, seq, data, size) },
 			Failure:    func(err error) { m.onGroupFailure(e, err) },
@@ -848,7 +900,8 @@ func (m *Manager) Stats() Stats {
 }
 
 // Close shuts the session down locally. Peers observe the departure as a
-// failure — leaving and crashing are the same event to the survivors.
+// failure — leaving and crashing are the same event to the survivors. Sends
+// still queued from a wedge are discarded and counted in Stats.Dropped.
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	if m.state == StateClosed {
@@ -857,17 +910,10 @@ func (m *Manager) Close() error {
 	}
 	m.state = StateClosed
 	m.err = ErrClosed
-	gs := m.retired
-	m.retired = nil
-	if m.group != nil {
-		m.group.Wedge()
-		gs = append(gs, m.group)
-		m.group = nil
-	}
+	actions := m.teardownLocked()
+	m.dropQueuedLocked()
 	m.mu.Unlock()
-	for _, g := range gs {
-		g.CloseConnections()
-	}
+	runAll(actions)
 	return nil
 }
 

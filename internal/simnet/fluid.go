@@ -3,7 +3,8 @@ package simnet
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"strings"
 )
 
 // completionSlack is the residual byte count below which a flow is considered
@@ -18,6 +19,16 @@ type Resource struct {
 	capacity float64 // bytes per second
 	flows    []*Flow
 	fab      *Fabric // the fabric that last routed a flow across this resource
+
+	// Generation-stamped scratch for the fabric's traversals. A resource
+	// is "marked" when its stamp equals the fabric's current pass number,
+	// which replaces per-pass map insertions — the dominant cost at many
+	// hundreds of nodes — with a field compare. scratchIdx is the
+	// resource's slot in the reallocation working set while scratchGen is
+	// current.
+	scratchGen uint64
+	scratchIdx int32
+	visitGen   uint64
 }
 
 // NewResource returns a resource with the given capacity in bytes per second.
@@ -83,7 +94,8 @@ type Flow struct {
 	finished   bool
 
 	// waterfill scratch state
-	fixed bool
+	fixed    bool
+	visitGen uint64 // component-traversal mark (see Resource.visitGen)
 }
 
 // Rate returns the flow's current allocated rate in bytes per second.
@@ -98,14 +110,45 @@ type Fabric struct {
 	sim    *Sim
 	nextID int64
 
-	// reallocate scratch, reused across calls to keep the per-flow-event
-	// allocation count flat in large simulations. Safe because the fabric
-	// is driven from the single-threaded event loop and reallocate never
-	// reenters itself.
-	resIdx    map[*Resource]int32 // resource → index into states
+	// gen numbers the traversal passes; resources and flows stamped with
+	// the current gen are "in the working set" without any map.
+	gen uint64
+
+	// allFlows is the id-ordered registry of flows the fabric has routed:
+	// ids are handed out monotonically and flows append at the tail, so
+	// the slice is always sorted and component() recovers id order by
+	// filtering it instead of sorting — the sort was a quarter of the
+	// event-loop cost at 500+ nodes. Finished flows linger marked until
+	// the registry is half dead, then one compaction sweep drops them.
+	allFlows     []*Flow
+	finishedDead int
+
+	// allResources is the name-ordered registry of resources the fabric
+	// has routed across (insertion-sorted once per resource lifetime), so
+	// reallocate recovers the deterministic name order by filtering it
+	// instead of re-sorting the working set on every flow event.
+	allResources []*Resource
+
+	// Traversal and reallocate scratch, reused across calls to keep the
+	// per-flow-event allocation count flat in large simulations. Safe
+	// because the fabric is driven from the single-threaded event loop and
+	// neither component nor reallocate reenters itself.
 	resources []*Resource
 	states    []resState
 	prevRates []float64
+	compFlows []*Flow
+	compStack []*Resource
+	heap      []shareEntry
+}
+
+// shareEntry is one lazy min-heap entry of the waterfill: a resource (by
+// working-set index, which is name order) keyed by the fair share it offered
+// when pushed. Max-min shares are monotone non-decreasing as flows fix, so a
+// popped entry whose share went stale is simply re-pushed with its current
+// share — the heap never has to delete.
+type shareEntry struct {
+	share float64
+	idx   int32
 }
 
 // NewFabric returns a fabric driven by the given simulation clock.
@@ -128,10 +171,14 @@ func (f *Fabric) StartFlow(size float64, path []*Resource, onDone func()) *Flow 
 		onDone:     onDone,
 	}
 	f.nextID++
+	f.allFlows = append(f.allFlows, fl)
 	comp := f.component(fl.path)
 	f.settle(comp)
 	for _, r := range fl.path {
-		r.fab = f
+		if r.fab != f {
+			r.fab = f
+			f.registerResource(r)
+		}
 		r.addFlow(fl)
 	}
 	comp = append(comp, fl)
@@ -145,12 +192,14 @@ func (f *Fabric) Cancel(fl *Flow) {
 	if fl.finished {
 		return
 	}
-	fl.finished = true
 	if fl.doneEv != nil {
 		fl.doneEv.Cancel()
 	}
 	comp := f.component(fl.path)
 	f.settle(comp)
+	// Retire only after component() has filtered the registry: compaction
+	// must not drop the flow from its own component.
+	f.retireFlow(fl)
 	for _, r := range fl.path {
 		r.removeFlow(fl)
 	}
@@ -168,7 +217,7 @@ func (f *Fabric) finish(fl *Flow) {
 		f.reallocate(comp)
 		return
 	}
-	fl.finished = true
+	f.retireFlow(fl)
 	for _, r := range fl.path {
 		r.removeFlow(fl)
 	}
@@ -176,36 +225,80 @@ func (f *Fabric) finish(fl *Flow) {
 	fl.onDone()
 }
 
+// retireFlow marks a flow finished and compacts the id-ordered registry once
+// it is mostly dead, keeping StartFlow's append-only invariant (compaction
+// preserves order) and bounding registry growth over long runs.
+func (f *Fabric) retireFlow(fl *Flow) {
+	fl.finished = true
+	f.finishedDead++
+	if f.finishedDead*2 > len(f.allFlows) && len(f.allFlows) > 1024 {
+		live := f.allFlows[:0]
+		for _, g := range f.allFlows {
+			if !g.finished {
+				live = append(live, g)
+			}
+		}
+		clear(f.allFlows[len(live):])
+		f.allFlows = live
+		f.finishedDead = 0
+	}
+}
+
+// registerResource inserts a newly routed resource into the name-ordered
+// registry. Runs once per resource lifetime, so the linear insert is fine.
+func (f *Fabric) registerResource(r *Resource) {
+	i, _ := slices.BinarySearchFunc(f.allResources, r, func(a, b *Resource) int {
+		return strings.Compare(a.name, b.name)
+	})
+	f.allResources = slices.Insert(f.allResources, i, r)
+}
+
 // component gathers every flow that transitively shares a resource with the
 // given path.
 func (f *Fabric) component(path []*Resource) []*Flow {
-	var (
-		flows     []*Flow
-		seenRes   = make(map[*Resource]bool, len(path)*2)
-		seenFlow  = make(map[*Flow]bool)
-		resources = append([]*Resource(nil), path...)
-	)
-	for _, r := range resources {
-		seenRes[r] = true
+	f.gen++
+	gen := f.gen
+	flows := f.compFlows[:0]
+	stack := f.compStack[:0]
+	for _, r := range path {
+		if r.visitGen != gen {
+			r.visitGen = gen
+			stack = append(stack, r)
+		}
 	}
-	for len(resources) > 0 {
-		r := resources[len(resources)-1]
-		resources = resources[:len(resources)-1]
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		for _, fl := range r.flows {
-			if seenFlow[fl] {
+			if fl.visitGen == gen {
 				continue
 			}
-			seenFlow[fl] = true
+			fl.visitGen = gen
 			flows = append(flows, fl)
 			for _, rr := range fl.path {
-				if !seenRes[rr] {
-					seenRes[rr] = true
-					resources = append(resources, rr)
+				if rr.visitGen != gen {
+					rr.visitGen = gen
+					stack = append(stack, rr)
 				}
 			}
 		}
 	}
-	sort.Slice(flows, func(i, j int) bool { return flows[i].id < flows[j].id })
+	// Recover deterministic id order by filtering the id-sorted registry
+	// for the marked flows instead of sorting the discovery-ordered set —
+	// O(total live flows) beats O(component · log component) once the
+	// component spans most of the fabric.
+	n := len(flows)
+	flows = flows[:0]
+	for _, fl := range f.allFlows {
+		if fl.visitGen == gen {
+			flows = append(flows, fl)
+			if len(flows) == n {
+				break
+			}
+		}
+	}
+	f.compFlows = flows
+	f.compStack = stack[:0]
 	return flows
 }
 
@@ -233,52 +326,68 @@ func (f *Fabric) reallocate(flows []*Flow) {
 	if len(flows) == 0 {
 		return
 	}
-	if f.resIdx == nil {
-		f.resIdx = make(map[*Resource]int32)
-	}
-	clear(f.resIdx)
-	f.resources = f.resources[:0]
-	f.states = f.states[:0]
+	f.gen++
+	gen := f.gen
 	f.prevRates = f.prevRates[:0]
+	need := 0
 	for _, fl := range flows {
 		f.prevRates = append(f.prevRates, fl.rate)
 		fl.fixed = false
 		for _, r := range fl.path {
-			idx, ok := f.resIdx[r]
-			if !ok {
-				idx = int32(len(f.states))
-				f.resIdx[r] = idx
-				f.states = append(f.states, resState{cap: r.capacity})
-				f.resources = append(f.resources, r)
+			if r.scratchGen != gen {
+				r.scratchGen = gen
+				need++
 			}
-			f.states[idx].count++
 		}
 	}
-	// Deterministic bottleneck scan order: ties in fair share resolve by
-	// resource name, independent of discovery order.
-	sort.Slice(f.resources, func(i, j int) bool { return f.resources[i].name < f.resources[j].name })
-
-	unfixed := len(flows)
-	for unfixed > 0 {
-		// Find the bottleneck: the resource offering the smallest fair share.
-		var (
-			bottleneck *Resource
-			share      = math.Inf(1)
-		)
-		for _, r := range f.resources {
-			st := &f.states[f.resIdx[r]]
-			if st.count == 0 {
-				continue
-			}
-			if s := st.cap / float64(st.count); s < share {
-				share = s
-				bottleneck = r
-			}
+	// Deterministic bottleneck order: ties in fair share resolve by resource
+	// name, independent of discovery order. The name order comes free from
+	// filtering the sorted registry for the marked resources — no per-event
+	// sort.
+	f.resources = f.resources[:0]
+	f.states = f.states[:0]
+	for _, r := range f.allResources {
+		if r.scratchGen != gen {
+			continue
 		}
-		if bottleneck == nil {
+		r.scratchIdx = int32(len(f.resources))
+		f.resources = append(f.resources, r)
+		f.states = append(f.states, resState{cap: r.capacity})
+		if len(f.resources) == need {
 			break
 		}
-		for _, fl := range bottleneck.flows {
+	}
+	for _, fl := range flows {
+		for _, r := range fl.path {
+			f.states[r.scratchIdx].count++
+		}
+	}
+
+	// Waterfill with a lazy min-heap over fair shares. Every working-set
+	// resource starts with one entry; fixing a bottleneck's flows only ever
+	// RAISES other resources' shares (max-min monotonicity: handing share s
+	// to k of count flows leaves (cap-ks)/(count-k) ≥ s when s ≤ cap/count),
+	// so a popped entry whose stored share no longer matches is stale — its
+	// real share grew — and is re-pushed at the current value. A popped entry
+	// that validates is the true minimum, and the (share, index) key order
+	// reproduces the linear scan's first-smallest-name tie-break exactly.
+	f.heap = f.heap[:0]
+	for i := range f.states {
+		f.heapPush(shareEntry{f.states[i].cap / float64(f.states[i].count), int32(i)})
+	}
+	unfixed := len(flows)
+	for unfixed > 0 && len(f.heap) > 0 {
+		e := f.heapPop()
+		st := &f.states[e.idx]
+		if st.count == 0 {
+			continue
+		}
+		if cur := st.cap / float64(st.count); cur != e.share {
+			f.heapPush(shareEntry{cur, e.idx})
+			continue
+		}
+		share := e.share
+		for _, fl := range f.resources[e.idx].flows {
 			if fl.fixed {
 				continue
 			}
@@ -286,7 +395,7 @@ func (f *Fabric) reallocate(flows []*Flow) {
 			fl.rate = share
 			unfixed--
 			for _, r := range fl.path {
-				st := &f.states[f.resIdx[r]]
+				st := &f.states[r.scratchIdx]
 				st.cap -= share
 				if st.cap < 0 {
 					st.cap = 0
@@ -354,6 +463,46 @@ func (f *Fabric) finishable(fl *Flow) bool {
 type resState struct {
 	cap   float64
 	count int
+}
+
+func shareLess(a, b shareEntry) bool {
+	return a.share < b.share || (a.share == b.share && a.idx < b.idx)
+}
+
+func (f *Fabric) heapPush(e shareEntry) {
+	f.heap = append(f.heap, e)
+	i := len(f.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !shareLess(f.heap[i], f.heap[p]) {
+			break
+		}
+		f.heap[i], f.heap[p] = f.heap[p], f.heap[i]
+		i = p
+	}
+}
+
+func (f *Fabric) heapPop() shareEntry {
+	top := f.heap[0]
+	n := len(f.heap) - 1
+	f.heap[0] = f.heap[n]
+	f.heap = f.heap[:n]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && shareLess(f.heap[l], f.heap[m]) {
+			m = l
+		}
+		if r < n && shareLess(f.heap[r], f.heap[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		f.heap[i], f.heap[m] = f.heap[m], f.heap[i]
+		i = m
+	}
+	return top
 }
 
 func remove(flows []*Flow, fl *Flow) []*Flow {

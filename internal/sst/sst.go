@@ -104,6 +104,33 @@ func New(provider rdma.Provider, id uint32, members []rdma.NodeID, cols int, onP
 	return t, nil
 }
 
+// regionReleaser is the optional provider capability Close uses to withdraw
+// the table's registered memory and watcher. Every in-tree provider supports
+// it (they embed nicbase.Base); a provider without it merely keeps the
+// replica bytes registered.
+type regionReleaser interface {
+	UnregisterRegion(id rdma.RegionID)
+}
+
+// Close releases the table's endpoint: the queue pairs close and the
+// registered region and its watcher are withdrawn, so a churned-through
+// table leaves nothing reachable from the provider. Local reads (Get, Row,
+// ColumnMin) keep working on the frozen replica; Set after Close fails on
+// every push. Peers' replicas are untouched — they keep this member's last
+// published row, which is exactly the frozen-frontier semantics a wedged
+// session needs.
+func (t *Table) Close() {
+	for _, qp := range t.qps {
+		if qp != nil {
+			_ = qp.Close()
+		}
+	}
+	t.qps = nil
+	if r, ok := t.provider.(regionReleaser); ok {
+		r.UnregisterRegion(region(t.id))
+	}
+}
+
 // Rank returns the local member's row index.
 func (t *Table) Rank() int { return t.rank }
 

@@ -211,6 +211,7 @@ type Node struct {
 	provider rdma.Provider
 	observer *obs.Obs
 	closers  []func() error
+	registry *Registry
 }
 
 // ID returns the node's identity.

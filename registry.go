@@ -1,0 +1,264 @@
+package rdmc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rdmc/internal/rdma"
+	"rdmc/internal/service"
+)
+
+// Registry is the RDMC-as-a-service control plane: a shared directory of
+// tenants and named groups over a live roster of nodes, plus one
+// weighted-fair send throttle per attached node's NIC. Build one Registry,
+// JoinRegistry every node into it, register tenants with their bandwidth
+// weights and admission budgets, and let tenants draw k-of-n groups against
+// the roster — the Cosmos-style many-group workload (paper §5) as an API.
+//
+// The Registry is logically centralized, like Derecho's membership service.
+// In-process deployments (NewSimCluster, NewLocalCluster) share the one
+// instance; the dataplane stays exactly the per-group RDMC protocol.
+type Registry struct {
+	cfg RegistryConfig
+	dir *service.Directory
+
+	mu        sync.Mutex
+	throttles map[int]*service.WFQThrottle // node id → NIC send throttle
+	tenants   map[string]*Tenant
+}
+
+// RegistryConfig seeds the service layer.
+type RegistryConfig struct {
+	// Seed drives the k-of-n member draws (fixed seed → reproducible
+	// overlays).
+	Seed int64
+	// ThrottleBytes is each node's send budget: how many bytes of block
+	// payload all its groups together may hold in flight. Zero disables
+	// QoS throttling — groups contend unmanaged, as without a registry.
+	ThrottleBytes int
+	// FirstGroupID is the first group id the registry allocates
+	// (default 1); keep the allocated range free of plain CreateGroup and
+	// session ids.
+	FirstGroupID int
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	first := uint32(1)
+	if cfg.FirstGroupID > 0 {
+		first = uint32(cfg.FirstGroupID)
+	}
+	return &Registry{
+		cfg:       cfg,
+		dir:       service.NewDirectory(service.DirectoryConfig{Seed: cfg.Seed, FirstGroupID: first}),
+		throttles: make(map[int]*service.WFQThrottle),
+		tenants:   make(map[string]*Tenant),
+	}
+}
+
+// JoinRegistry attaches this node to the registry's live roster and, when
+// QoS is enabled, installs the node's weighted-fair send throttle. Groups
+// and sessions created afterwards with a Tenant set are paced by it.
+func (n *Node) JoinRegistry(r *Registry) error {
+	if n.registry != nil && n.registry != r {
+		return errors.New("rdmc: node already joined a different registry")
+	}
+	n.registry = r
+	r.dir.Attach(rdma.NodeID(n.id))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cfg.ThrottleBytes > 0 && r.throttles[n.id] == nil {
+		th := service.NewWFQThrottle(r.cfg.ThrottleBytes)
+		for name, t := range r.tenants {
+			_ = th.AddClass(name, t.cfg.Weight)
+		}
+		if n.observer != nil {
+			th.SetMetrics(n.observer.Registry())
+		}
+		r.throttles[n.id] = th
+	}
+	return nil
+}
+
+// Registry returns the registry this node joined, or nil.
+func (n *Node) Registry() *Registry { return n.registry }
+
+// nodeThrottle returns the node's NIC throttle (nil when QoS is off).
+func (r *Registry) nodeThrottle(node int) *service.WFQThrottle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.throttles[node]
+}
+
+// Roster returns the attached node ids in order.
+func (r *Registry) Roster() []int {
+	ids := r.dir.Roster()
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// TenantConfig is one tenant's bandwidth share and admission budget.
+type TenantConfig struct {
+	// Weight is the tenant's share of every NIC's send budget under
+	// contention (default 1): a weight-3 tenant drains three bytes for
+	// every byte a weight-1 tenant drains.
+	Weight int
+	// MaxInFlight caps the tenant's concurrently admitted transfers
+	// (0 = unlimited).
+	MaxInFlight int
+	// MaxQueuedBytes sizes the tenant's overflow queue; zero rejects
+	// over-cap submissions outright (the reject-vs-queue policy).
+	MaxQueuedBytes int64
+}
+
+// AddTenant registers a tenant and propagates its weight to every node's
+// throttle.
+func (r *Registry) AddTenant(name string, cfg TenantConfig) (*Tenant, error) {
+	if cfg.Weight <= 0 {
+		cfg.Weight = 1
+	}
+	inner, err := r.dir.AddTenant(name, service.TenantConfig{
+		Weight:         cfg.Weight,
+		MaxInFlight:    cfg.MaxInFlight,
+		MaxQueuedBytes: cfg.MaxQueuedBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Tenant{r: r, name: name, cfg: cfg, inner: inner}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tenants[name] = t
+	for _, th := range r.throttles {
+		_ = th.AddClass(name, cfg.Weight)
+	}
+	return t, nil
+}
+
+// Tenant returns a registered tenant handle, or nil.
+func (r *Registry) Tenant(name string) *Tenant {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tenants[name]
+}
+
+// bindGroup routes one allocated group-id range to a tenant's class on a
+// node's throttle and returns the throttle for the group config.
+func (r *Registry) bindGroup(node int, spec service.GroupSpec) *service.WFQThrottle {
+	th := r.nodeThrottle(node)
+	if th == nil {
+		return nil
+	}
+	_ = th.BindSpan(spec.ID, spec.Span, spec.Tenant)
+	return th
+}
+
+// Tenant is one tenant's handle: named-group registration, k-of-n draws,
+// and admission control.
+type Tenant struct {
+	r     *Registry
+	name  string
+	cfg   TenantConfig
+	inner *service.Tenant
+}
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.name }
+
+// GroupSpec is a resolved registration: the allocated group id and the
+// concrete membership (Members[0] is the root).
+type GroupSpec struct {
+	ID      int
+	Tenant  string
+	Name    string
+	Members []int
+}
+
+func specFromService(gs service.GroupSpec) GroupSpec {
+	out := GroupSpec{ID: int(gs.ID), Tenant: gs.Tenant, Name: gs.Name,
+		Members: make([]int, len(gs.Members))}
+	for i, m := range gs.Members {
+		out.Members[i] = int(m)
+	}
+	return out
+}
+
+// DrawGroup registers a named group whose k members are drawn from the live
+// roster (seeded, deterministic) and allocates its group id.
+func (t *Tenant) DrawGroup(name string, k int) (GroupSpec, error) {
+	gs, err := t.r.dir.DrawGroup(t.name, name, k)
+	if err != nil {
+		return GroupSpec{}, err
+	}
+	return specFromService(gs), nil
+}
+
+// RegisterGroup registers a named group with explicit members.
+func (t *Tenant) RegisterGroup(name string, members []int) (GroupSpec, error) {
+	ids := make([]rdma.NodeID, len(members))
+	for i, m := range members {
+		ids[i] = rdma.NodeID(m)
+	}
+	gs, err := t.r.dir.RegisterGroup(t.name, name, ids)
+	if err != nil {
+		return GroupSpec{}, err
+	}
+	return specFromService(gs), nil
+}
+
+// Lookup resolves one of this tenant's registered groups by name.
+func (t *Tenant) Lookup(name string) (GroupSpec, bool) {
+	gs, ok := t.r.dir.Lookup(t.name, name)
+	if !ok {
+		return GroupSpec{}, false
+	}
+	return specFromService(gs), true
+}
+
+// CreateGroup instantiates this node's endpoint of a registered group: the
+// spec supplies id and members, and the node's throttle (when QoS is on)
+// paces the group under the tenant's weight. Every member node calls it with
+// the same spec, like plain Node.CreateGroup.
+func (t *Tenant) CreateGroup(n *Node, spec GroupSpec, cfg GroupConfig, cbs Callbacks) (*Group, error) {
+	if n.registry != t.r {
+		return nil, errors.New("rdmc: node has not joined this tenant's registry")
+	}
+	gs, ok := t.r.dir.Lookup(t.name, spec.Name)
+	if !ok || int(gs.ID) != spec.ID {
+		return nil, fmt.Errorf("rdmc: group %q/%q is not registered", t.name, spec.Name)
+	}
+	cc, err := cfg.coreConfig(cbs)
+	if err != nil {
+		return nil, err
+	}
+	cc.Throttle = t.r.bindGroup(n.id, gs)
+	members := make([]rdma.NodeID, len(gs.Members))
+	copy(members, gs.Members)
+	g, err := n.engine.CreateGroup(gs.ID, members, cc)
+	if err != nil {
+		return nil, err
+	}
+	return &Group{inner: g}, nil
+}
+
+// Submit runs the tenant's admission control around one application-level
+// transfer of the given size: within MaxInFlight, start runs synchronously;
+// past it the transfer queues (within MaxQueuedBytes) and starts from a
+// later Done; past both it is rejected. Exactly one Done is owed per nil
+// return.
+func (t *Tenant) Submit(bytes int64, start func()) error {
+	return t.inner.Submit(bytes, start)
+}
+
+// Done releases one admitted transfer and starts the queue head, if any.
+func (t *Tenant) Done() { t.inner.Done() }
+
+// TenantStats mirrors the service layer's admission counters.
+type TenantStats = service.TenantStats
+
+// Stats snapshots the tenant's admission counters.
+func (t *Tenant) Stats() TenantStats { return t.inner.Stats() }

@@ -1,0 +1,186 @@
+package rdmc_test
+
+import (
+	"errors"
+	"testing"
+
+	"rdmc"
+)
+
+// TestRegistryEndToEnd drives the public service API over a simulated
+// cluster: two tenants with 3:1 bandwidth weights draw k-of-n groups against
+// the roster, create them through their tenant handles, and multicast
+// concurrently through the per-node WFQ throttles. Everything must deliver
+// (throttling stalls, never deadlocks) and both tenants' admission counters
+// must add up.
+func TestRegistryEndToEnd(t *testing.T) {
+	c, err := rdmc.NewSimCluster(rdmc.SimConfig{Nodes: 12, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := rdmc.NewRegistry(rdmc.RegistryConfig{Seed: 7, ThrottleBytes: 256 << 10})
+	for i := 0; i < c.Nodes(); i++ {
+		if err := c.Node(i).JoinRegistry(reg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(reg.Roster()); got != 12 {
+		t.Fatalf("roster size = %d, want 12", got)
+	}
+
+	heavy, err := reg.AddTenant("heavy", rdmc.TenantConfig{Weight: 3, MaxInFlight: 2, MaxQueuedBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := reg.AddTenant("light", rdmc.TenantConfig{Weight: 1, MaxInFlight: 2, MaxQueuedBytes: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type liveGroup struct {
+		spec      rdmc.GroupSpec
+		endpoints []*rdmc.Group
+		delivered *int
+	}
+	var groups []liveGroup
+	for _, ten := range []*rdmc.Tenant{heavy, light} {
+		for gi := 0; gi < 4; gi++ {
+			spec, err := ten.DrawGroup(string(rune('a'+gi)), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delivered := new(int)
+			lg := liveGroup{spec: spec, delivered: delivered}
+			for _, m := range spec.Members {
+				g, err := ten.CreateGroup(c.Node(m), spec, rdmc.GroupConfig{BlockSize: 8 << 10},
+					rdmc.Callbacks{Completion: func(int, []byte, int) { *delivered++ }})
+				if err != nil {
+					t.Fatal(err)
+				}
+				lg.endpoints = append(lg.endpoints, g)
+			}
+			groups = append(groups, lg)
+		}
+	}
+
+	// Every root submits one transfer through its tenant's admission gate.
+	for i, lg := range groups {
+		ten := heavy
+		if lg.spec.Tenant == "light" {
+			ten = light
+		}
+		root, size := lg.endpoints[0], 128<<10
+		if err := ten.Submit(int64(size), func() {
+			if err := root.SendSized(size); err != nil {
+				t.Errorf("group %d send: %v", i, err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// MaxInFlight is 2, so each tenant starts two transfers now and holds
+	// two in its queue until Done frees a slot: drain in rounds, running
+	// the virtual clock between them.
+	done := make([]bool, len(groups))
+	for round := 0; round < len(groups); round++ {
+		c.Run()
+		progressed := false
+		for i, lg := range groups {
+			if done[i] || *lg.delivered < len(lg.spec.Members) {
+				continue
+			}
+			done[i] = true
+			progressed = true
+			if lg.spec.Tenant == "light" {
+				light.Done()
+			} else {
+				heavy.Done()
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	for i, lg := range groups {
+		if got, want := *lg.delivered, len(lg.spec.Members); got != want {
+			t.Errorf("group %d (%s/%s): %d member deliveries, want %d",
+				i, lg.spec.Tenant, lg.spec.Name, got, want)
+		}
+	}
+	for _, ten := range []*rdmc.Tenant{heavy, light} {
+		s := ten.Stats()
+		if s.Admitted != 4 || s.Completed != 4 || s.InFlight != 0 {
+			t.Errorf("tenant %s stats = %+v, want 4 admitted, 4 completed, 0 in flight", ten.Name(), s)
+		}
+	}
+
+	// Guard rails: unregistered specs and foreign registries are rejected.
+	if _, err := heavy.CreateGroup(c.Node(0), rdmc.GroupSpec{ID: 999, Name: "nope"},
+		rdmc.GroupConfig{}, rdmc.Callbacks{}); err == nil {
+		t.Error("creating an unregistered group succeeded")
+	}
+	other := rdmc.NewRegistry(rdmc.RegistryConfig{})
+	if err := c.Node(0).JoinRegistry(other); err == nil {
+		t.Error("joining a second registry succeeded")
+	}
+	if _, err := heavy.DrawGroup("too-big", 13); err == nil {
+		t.Error("drawing more members than the roster succeeded")
+	}
+}
+
+// TestRegistrySessionTenant pins the session plumbing: a session with a
+// Tenant set must resolve the tenant (and reject unknown ones) and still
+// deliver across the throttle.
+func TestRegistrySessionTenant(t *testing.T) {
+	c, err := rdmc.NewSimCluster(rdmc.SimConfig{Nodes: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := rdmc.NewRegistry(rdmc.RegistryConfig{Seed: 3, ThrottleBytes: 64 << 10})
+	for i := 0; i < 4; i++ {
+		if err := c.Node(i).JoinRegistry(reg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reg.AddTenant("svc", rdmc.TenantConfig{Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.Node(0).NewSession(rdmc.SessionConfig{
+		ID: 5000, Members: []int{0, 1, 2, 3}, Tenant: "ghost", MetadataOnly: true,
+	}, rdmc.SessionCallbacks{}); err == nil {
+		t.Fatal("session with unknown tenant succeeded")
+	}
+
+	delivered := make([]int, 4)
+	sessions := make([]*rdmc.Session, 4)
+	for i := 0; i < 4; i++ {
+		who := i
+		s, err := c.Node(i).NewSession(rdmc.SessionConfig{
+			ID: 5000, Members: []int{0, 1, 2, 3}, BlockSize: 4 << 10,
+			MetadataOnly: true, Tenant: "svc",
+		}, rdmc.SessionCallbacks{
+			Deliver: func(uint64, []byte, int) { delivered[who]++ },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	for i := 0; i < 3; i++ {
+		if err := sessions[0].SendSized(32 << 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Run()
+	for i, d := range delivered {
+		if d != 3 {
+			t.Errorf("node %d delivered %d, want 3", i, d)
+		}
+	}
+	for _, s := range sessions {
+		if err := s.Close(); err != nil && !errors.Is(err, rdmc.ErrSessionEvicted) {
+			t.Fatal(err)
+		}
+	}
+}

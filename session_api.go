@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rdmc/internal/core"
 	"rdmc/internal/rdma"
 	"rdmc/internal/schedule"
 	"rdmc/internal/session"
@@ -61,6 +62,11 @@ type SessionConfig struct {
 	// MetadataOnly runs transfers without payload bytes (simulation
 	// studies); Deliver then carries nil data.
 	MetadataOnly bool
+	// Tenant, when set, paces every epoch of this session under the named
+	// registry tenant's bandwidth weight (the node must have joined a
+	// Registry with QoS enabled; see Node.JoinRegistry). Empty leaves the
+	// session unthrottled.
+	Tenant string
 }
 
 // SessionCallbacks notify the application of session events. All callbacks
@@ -110,6 +116,21 @@ func (n *Node) NewSession(cfg SessionConfig, cbs SessionCallbacks) (*Session, er
 	for i, m := range cfg.Members {
 		members[i] = rdma.NodeID(m)
 	}
+	var throttle core.SendThrottle
+	if cfg.Tenant != "" {
+		if n.registry == nil {
+			return nil, fmt.Errorf("rdmc: session tenant %q needs the node to join a registry first", cfg.Tenant)
+		}
+		if n.registry.Tenant(cfg.Tenant) == nil {
+			return nil, fmt.Errorf("rdmc: unknown registry tenant %q", cfg.Tenant)
+		}
+		if th := n.registry.nodeThrottle(n.id); th != nil {
+			// Epoch groups burn ids ID+1, ID+2, ... — bind the whole range
+			// once so every future view change inherits the tenant's class.
+			_ = th.BindSpan(core.GroupID(cfg.ID+1), 1<<10, cfg.Tenant)
+			throttle = th
+		}
+	}
 	mgr, err := session.New(n.engine, n.provider, session.Config{
 		ID:           uint32(cfg.ID),
 		Members:      members,
@@ -118,6 +139,7 @@ func (n *Node) NewSession(cfg SessionConfig, cbs SessionCallbacks) (*Session, er
 		SendWindow:   cfg.SendWindow,
 		RecvWindow:   cfg.RecvWindow,
 		MetadataOnly: cfg.MetadataOnly,
+		Throttle:     throttle,
 		Observer:     n.observer,
 	}, session.Callbacks{
 		Deliver: cbs.Deliver,

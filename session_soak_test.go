@@ -1,0 +1,131 @@
+package rdmc_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rdmc"
+)
+
+// TestManySessionsChurnRace is the multi-tenancy soak: many concurrent
+// sessions churning create → send → evict → close over the same three
+// engines and real TCP sockets, the workload `go test -race` needs to expose
+// unsynchronized cross-session state (the failure-observer list, provider
+// region tables, engine group table). 64 sessions total (8 workers × 8
+// generations, halved with -short), every generation asserting gap-free
+// delivery and — on eviction generations — a clean epoch-2 install after one
+// member's endpoint disappears mid-stream.
+func TestManySessionsChurnRace(t *testing.T) {
+	nodes, err := rdmc.NewLocalCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			_ = n.Close()
+		}
+	}()
+
+	workers, generations := 8, 8
+	if testing.Short() {
+		workers, generations = 4, 4
+	}
+
+	var churned atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for gen := 0; gen < generations; gen++ {
+				id := 20000 + (w*generations+gen)*100
+				if !churnOneSession(t, nodes, id, gen%2 == 1) {
+					return
+				}
+				churned.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := churned.Load(), int64(workers*generations); got != want {
+		t.Fatalf("churned %d sessions, want %d", got, want)
+	}
+}
+
+// churnOneSession runs one session generation across all three nodes and
+// reports whether it completed (failures are reported through t and abort
+// the worker).
+func churnOneSession(t *testing.T, nodes []*rdmc.Node, id int, evict bool) bool {
+	members := []int{0, 1, 2}
+	recs := make([]*sessionRecorder, 3)
+	sessions := make([]*rdmc.Session, 3)
+	for i, n := range nodes {
+		recs[i] = &sessionRecorder{}
+		s, err := n.NewSession(
+			rdmc.SessionConfig{ID: id, Members: members, BlockSize: 8 << 10},
+			recs[i].callbacks(),
+		)
+		if err != nil {
+			t.Errorf("session %d node %d: %v", id, i, err)
+			return false
+		}
+		sessions[i] = s
+	}
+	defer func() {
+		for _, s := range sessions {
+			_ = s.Close()
+		}
+	}()
+
+	waitFor := func(what string, cond func() bool) bool {
+		deadline := time.Now().Add(20 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Errorf("session %d: timed out waiting for %s", id, what)
+				return false
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return true
+	}
+
+	payload := func(tag byte) []byte {
+		b := make([]byte, 4<<10)
+		b[0] = tag
+		return b
+	}
+	for i := 0; i < 2; i++ {
+		if err := sessions[0].Send(payload(byte(i + 1))); err != nil {
+			t.Errorf("session %d send %d: %v", id, i, err)
+			return false
+		}
+	}
+	if !waitFor("initial deliveries", func() bool {
+		return recs[0].delivered() >= 2 && recs[1].delivered() >= 2 && recs[2].delivered() >= 2
+	}) {
+		return false
+	}
+
+	if evict {
+		// Member 2's endpoint vanishes; the next send breaks its queue
+		// pairs and the survivors must agree on epoch 2 and keep going.
+		_ = sessions[2].Close()
+		if err := sessions[0].Send(payload(3)); err != nil {
+			t.Errorf("session %d post-close send: %v", id, err)
+			return false
+		}
+		if !waitFor("epoch 2 deliveries", func() bool {
+			return recs[0].delivered() >= 3 && recs[1].delivered() >= 3 &&
+				sessions[0].Epoch() >= 2 && sessions[1].Epoch() >= 2
+		}) {
+			return false
+		}
+		recs[0].checkGapFree(t, 0, []byte{1, 2, 3})
+		recs[1].checkGapFree(t, 1, []byte{1, 2, 3})
+	} else {
+		recs[2].checkGapFree(t, 2, []byte{1, 2})
+	}
+	return true
+}
