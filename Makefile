@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench-smoke bench-json bench-compare check golden golden-record scenario scenarios
+.PHONY: all build test race vet bench-smoke bench-json bench-compare bench-trend check golden golden-record scenario scenarios
 
 all: build
 
@@ -37,6 +37,11 @@ bench-compare:
 	$(GO) run ./cmd/benchcmp -old BENCH_sendwindow.json -new bench_new.txt -filter 'BenchmarkSendWindow|BenchmarkTenantThrottle' \
 		-json bench_delta.json -trajectory BENCH_trajectory.json -label "$$(git rev-parse --short HEAD 2>/dev/null || echo local)" \
 		$(BENCHCMP_FLAGS) | tee bench_compare.txt
+	$(GO) run ./cmd/benchcmp -trend -trajectory BENCH_trajectory.json -out bench_trend.md
+
+# Render the committed benchmark trajectory as a markdown trend table.
+bench-trend:
+	$(GO) run ./cmd/benchcmp -trend -trajectory BENCH_trajectory.json -out bench_trend.md
 
 # Golden regression gate: regenerate the pinned quick-scale datasets in
 # memory and fail on any divergence. `make golden-record` refreshes the

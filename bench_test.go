@@ -58,6 +58,9 @@ func BenchmarkFailover(b *testing.B) { benchExperiment(b, "failover") }
 func BenchmarkAdaptiveScheduling(b *testing.B) {
 	benchExperiment(b, "adaptive")
 }
+func BenchmarkWANLossTolerance(b *testing.B) {
+	benchExperiment(b, "wan")
+}
 
 // --- micro-benchmarks of the library's hot paths ---
 

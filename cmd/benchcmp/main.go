@@ -25,6 +25,13 @@
 // growing JSON-array log (created if missing), which is how the committed
 // BENCH_trajectory.json accumulates a release-over-release performance
 // history that tooling can plot without scraping tables.
+//
+// With -trend the tool reads that trajectory log instead of comparing two
+// result sets, and renders the history as a markdown table — first and
+// latest time/op per benchmark, the overall change, and a sparkline across
+// every record:
+//
+//	benchcmp -trend [-trajectory BENCH_trajectory.json] [-filter regexp] [-out TREND.md]
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -184,6 +192,133 @@ type deltaReport struct {
 	Benchmarks []deltaEntry `json:"benchmarks"`
 }
 
+// sparkRunes are the eight levels a trend sparkline draws with; a record
+// where the benchmark is absent renders as '·'.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline maps a series of ns/op samples (NaN = missing) onto the block
+// glyph scale, min to max. A flat series draws the lowest glyph: the
+// interesting signal is variation, not level.
+func sparkline(samples []float64) string {
+	lo, hi := 0.0, 0.0
+	first := true
+	for _, s := range samples {
+		if s != s { // NaN: benchmark absent from this record
+			continue
+		}
+		if first || s < lo {
+			lo = s
+		}
+		if first || s > hi {
+			hi = s
+		}
+		first = false
+	}
+	var b strings.Builder
+	for _, s := range samples {
+		if s != s {
+			b.WriteRune('·')
+			continue
+		}
+		idx := 0
+		if hi > lo {
+			idx = int((s - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// trendReport renders the trajectory log as a markdown document: one table
+// row per benchmark with its first and latest time/op, the overall change,
+// and a sparkline over every record — the release-over-release view the
+// per-PR delta table cannot give.
+func trendReport(records []deltaReport, re *regexp.Regexp) string {
+	var b strings.Builder
+	b.WriteString("# Benchmark trend\n\n")
+	if len(records) == 0 {
+		b.WriteString("(empty trajectory)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d records, %s (%s) to %s (%s)\n\n",
+		len(records),
+		orLocal(records[0].Label), day(records[0].RecordedAt),
+		orLocal(records[len(records)-1].Label), day(records[len(records)-1].RecordedAt))
+
+	// Benchmarks appear in first-seen order across records; each series
+	// holds one ns/op sample per record (NaN where the record lacks it).
+	series := make(map[string][]float64)
+	var order []string
+	for i, rec := range records {
+		for _, e := range rec.Benchmarks {
+			ns := e.NewNsOp
+			if ns == nil {
+				ns = e.OldNsOp // status "gone": the baseline side is the sample
+			}
+			if ns == nil {
+				continue
+			}
+			s := series[e.Name]
+			if s == nil {
+				s = make([]float64, len(records))
+				for j := range s {
+					s[j] = nan()
+				}
+				series[e.Name] = s
+				order = append(order, e.Name)
+			}
+			s[i] = *ns
+		}
+	}
+
+	b.WriteString("| benchmark | first | latest | change | trend |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	rows := 0
+	for _, name := range order {
+		if re != nil && !re.MatchString(name) {
+			continue
+		}
+		s := series[name]
+		first, last := nan(), nan()
+		for _, v := range s {
+			if v != v {
+				continue
+			}
+			if first != first {
+				first = v
+			}
+			last = v
+		}
+		if first != first {
+			continue
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n",
+			name, fmtNs(first), fmtNs(last), fmtDelta(first, last), sparkline(s))
+		rows++
+	}
+	if rows == 0 {
+		b.WriteString("| (no benchmarks matched) | | | | |\n")
+	}
+	return b.String()
+}
+
+func nan() float64 { return math.NaN() }
+
+func orLocal(label string) string {
+	if label == "" {
+		return "unlabeled"
+	}
+	return label
+}
+
+// day trims an RFC3339 timestamp to its date.
+func day(ts string) string {
+	if t, err := time.Parse(time.RFC3339, ts); err == nil {
+		return t.Format("2006-01-02")
+	}
+	return ts
+}
+
 // appendTrajectory adds one record to a JSON-array log file, creating the
 // file when absent. The whole array is rewritten — the log is small (one
 // record per release) and staying a valid JSON document beats an
@@ -233,12 +368,9 @@ func main() {
 	jsonPath := flag.String("json", "", "also write the comparison as JSON to this file")
 	trajectory := flag.String("trajectory", "", "append the comparison to this JSON-array trajectory log")
 	label := flag.String("label", "", "label for the JSON/trajectory record (e.g. a version or commit)")
+	trend := flag.Bool("trend", false, "render the trajectory log as a markdown trend report instead of comparing")
+	outPath := flag.String("out", "", "with -trend, also write the report to this file")
 	flag.Parse()
-	if *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchcmp: -new is required")
-		flag.Usage()
-		os.Exit(2)
-	}
 
 	var re *regexp.Regexp
 	if *filter != "" {
@@ -247,6 +379,38 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchcmp: bad -filter: %v\n", err)
 			os.Exit(2)
 		}
+	}
+
+	if *trend {
+		path := *trajectory
+		if path == "" {
+			path = "BENCH_trajectory.json"
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+			os.Exit(2)
+		}
+		var records []deltaReport
+		if err := json.Unmarshal(data, &records); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcmp: %s is not a benchcmp trajectory: %v\n", path, err)
+			os.Exit(2)
+		}
+		report := trendReport(records, re)
+		fmt.Print(report)
+		if *outPath != "" {
+			if err := os.WriteFile(*outPath, []byte(report), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcmp: write %s: %v\n", *outPath, err)
+				os.Exit(2)
+			}
+		}
+		return
+	}
+
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -new is required")
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	oldR, oldOrder, err := parseFile(*oldPath)

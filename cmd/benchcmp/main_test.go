@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -183,3 +185,63 @@ func TestAppendTrajectoryRejectsNonArrayFile(t *testing.T) {
 		t.Fatal("appendTrajectory accepted a non-array file")
 	}
 }
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline([]float64{100, 150, 200}); got != "▁▄█" {
+		t.Errorf("sparkline = %q", got)
+	}
+	if got := sparkline([]float64{100, nan(), 200}); got != "▁·█" {
+		t.Errorf("sparkline with gap = %q", got)
+	}
+	if got := sparkline([]float64{100, 100}); got != "▁▁" {
+		t.Errorf("flat sparkline = %q", got)
+	}
+}
+
+func TestTrendReport(t *testing.T) {
+	f := func(v float64) *float64 { return &v }
+	records := []deltaReport{
+		{
+			Label: "r1", RecordedAt: "2026-08-01T00:00:00Z",
+			Benchmarks: []deltaEntry{
+				{Name: "BenchmarkA", Status: "compared", NewNsOp: f(100)},
+				{Name: "BenchmarkOld", Status: "gone", OldNsOp: f(50)},
+			},
+		},
+		{
+			Label: "r2", RecordedAt: "2026-08-08T00:00:00Z",
+			Benchmarks: []deltaEntry{
+				{Name: "BenchmarkA", Status: "compared", NewNsOp: f(200)},
+				{Name: "BenchmarkNew", Status: "new", NewNsOp: f(10)},
+			},
+		},
+	}
+	got := trendReport(records, nil)
+	for _, want := range []string{
+		"2 records, r1 (2026-08-01) to r2 (2026-08-08)",
+		"| BenchmarkA | 100ns | 200ns | +100.00% | ▁█ |",
+		"| BenchmarkOld | 50ns | 50ns | +0.00% | ▁· |",
+		"| BenchmarkNew | 10ns | 10ns | +0.00% | ·▁ |",
+	} {
+		if !contains(got, want) {
+			t.Errorf("trend report missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestTrendReportFilterAndEmpty(t *testing.T) {
+	if got := trendReport(nil, nil); !contains(got, "(empty trajectory)") {
+		t.Errorf("empty trajectory report = %q", got)
+	}
+	f := func(v float64) *float64 { return &v }
+	records := []deltaReport{{
+		Label: "r1", RecordedAt: "2026-08-01T00:00:00Z",
+		Benchmarks: []deltaEntry{{Name: "BenchmarkA", Status: "compared", NewNsOp: f(100)}},
+	}}
+	got := trendReport(records, regexp.MustCompile("NoSuchBench"))
+	if !contains(got, "(no benchmarks matched)") {
+		t.Errorf("filtered-out report = %q", got)
+	}
+}
+
+func contains(haystack, needle string) bool { return strings.Contains(haystack, needle) }

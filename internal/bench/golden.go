@@ -19,7 +19,7 @@ const DefaultGoldenDir = "testdata/golden"
 // reports the golden harness pins. All of them replay deterministic virtual-
 // time workloads, so their rendered rows are byte-stable across runs,
 // machines, and -race.
-var goldenExperiments = []string{"fig8", "fig9", "smc", "failover", "adaptive"}
+var goldenExperiments = []string{"fig8", "fig9", "smc", "failover", "adaptive", "wan"}
 
 // goldenEntry is one pinned dataset: a file name under the golden
 // directory and the renderer that regenerates its contents.

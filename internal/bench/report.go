@@ -109,6 +109,7 @@ func Experiments() map[string]Runner {
 		"window":   RecvWindowAblation,
 		"failover": Failover,
 		"tenants":  TenantsQoS,
+		"wan":      WANLossTolerance,
 	}
 }
 
@@ -118,6 +119,6 @@ func Order() []string {
 		"fig4a", "fig4b", "table1", "fig5", "fig6", "fig7", "fig8",
 		"fig9", "fig10a", "fig10b", "fig11", "fig12",
 		"slack", "slowlink", "delay", "hybrid", "adaptive", "smc", "window",
-		"failover", "tenants",
+		"failover", "tenants", "wan",
 	}
 }

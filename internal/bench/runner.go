@@ -7,6 +7,7 @@ import (
 	"rdmc/internal/core"
 	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
+	"rdmc/internal/rdma/reliab"
 	"rdmc/internal/schedule"
 	"rdmc/internal/simhost"
 	"rdmc/internal/simnet"
@@ -33,11 +34,19 @@ type deployment struct {
 }
 
 func deploy(cluster simnet.ClusterConfig, offload bool) *deployment {
+	return deployReliab(cluster, offload, nil)
+}
+
+// deployReliab is deploy with an optional loss-tolerant reliability layer
+// (internal/rdma/reliab) wrapped around every NIC; nil rcfg is a plain
+// deployment. A lossy cluster.Fabric needs rcfg, or queue pairs break.
+func deployReliab(cluster simnet.ClusterConfig, offload bool, rcfg *reliab.Config) *deployment {
 	grid, err := simhost.New(simhost.Config{
 		Cluster:  cluster,
 		Seed:     1,
 		Offload:  offload,
 		Observer: observer.Load(),
+		Reliab:   rcfg,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("bench: deploy: %v", err))

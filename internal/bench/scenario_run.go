@@ -7,6 +7,7 @@ import (
 	"rdmc/internal/chaos"
 	"rdmc/internal/core"
 	"rdmc/internal/rdma"
+	"rdmc/internal/rdma/reliab"
 	"rdmc/internal/scenario"
 	"rdmc/internal/schedule"
 	"rdmc/internal/service"
@@ -106,6 +107,56 @@ func replayAlgorithms(cfg scenario.Config) ([]replaySpec, error) {
 	return out, nil
 }
 
+// applyFabric overlays the scenario's WAN fabric stanza (if any) on the
+// resolved cluster model and translates its reliability knobs into a reliab
+// config for the deployment. The RTT matrix converts from the DSL's
+// milliseconds to the model's seconds, and the cluster's NIC retry timeout
+// stretches to cover the slowest path so break-mode frames on a loss-free
+// WAN profile are late, not broken.
+func applyFabric(cluster simnet.ClusterConfig, cfg scenario.Config) (simnet.ClusterConfig, *reliab.Config) {
+	f := cfg.Replay.Fabric
+	if f == nil {
+		return cluster, nil
+	}
+	seed := f.Seed
+	if seed == 0 {
+		seed = cfg.Seed
+	}
+	profile := &simnet.FabricProfile{
+		Seed:        seed,
+		Regions:     append([]int(nil), f.Regions...),
+		LossRate:    f.LossRate,
+		ReorderRate: f.ReorderRate,
+	}
+	maxRTT := 0.0
+	if len(f.RTTMs) > 0 {
+		profile.RTT = make([][]float64, len(f.RTTMs))
+		for a, row := range f.RTTMs {
+			profile.RTT[a] = make([]float64, len(row))
+			for b, ms := range row {
+				sec := ms / 1e3
+				profile.RTT[a][b] = sec
+				if sec > maxRTT {
+					maxRTT = sec
+				}
+			}
+		}
+	}
+	cluster.Fabric = profile
+	if timeout := 2 * maxRTT; cluster.RetryTimeout < timeout {
+		cluster.RetryTimeout = timeout
+	}
+	if !f.Reliab {
+		return cluster, nil
+	}
+	rcfg := &reliab.Config{Seed: seed, FECGroup: f.FECGroup}
+	if f.RTOMs > 0 {
+		rcfg.RTO = f.RTOMs / 1e3
+		rcfg.MaxRTO = 4 * rcfg.RTO
+	}
+	return cluster, rcfg
+}
+
 // streamResult is one algorithm's replay outcome over a compiled stream.
 type streamResult struct {
 	// latencies holds per-write seconds in completion order; byTenant
@@ -194,7 +245,8 @@ func replayStream(cfg scenario.Config, stream *scenario.Stream, spec replaySpec)
 	if err != nil {
 		panic(fmt.Sprintf("bench: scenario %s: %v", cfg.Name, err))
 	}
-	d := deploy(cluster, false)
+	cluster, rcfg := applyFabric(cluster, cfg)
+	d := deployReliab(cluster, false, rcfg)
 	for _, ct := range cfg.CrossTraffic {
 		streams := ct.Streams
 		if streams == 0 {

@@ -28,6 +28,13 @@ type Harness struct {
 	// enough for loopback frames to arrive. After Settle returns, anything
 	// still undelivered is expected never to deliver.
 	Settle func()
+	// Timer, when set, schedules fn after d seconds of TRANSPORT time and
+	// returns a cancel function. The loss-mode cases hand it to the
+	// reliability wrapper as its retransmission clock: the simulated NIC
+	// must supply a virtual-time timer (a wall-clock timer never fires
+	// inside its Settle, and firing off the event loop would race it),
+	// while real-time transports leave it nil for the wall-clock default.
+	Timer func(d float64, fn func()) (cancel func())
 }
 
 // Factory builds a fresh Harness per test and registers cleanup on t.
@@ -55,6 +62,9 @@ func Run(t *testing.T, f Factory) {
 		{"QueuePairCloseFailsOutstandingWork", testQPCloseFailsOutstanding},
 		{"BrokenMidWindowedTransferPropagates", testBrokenMidWindow},
 		{"ProviderCloseRefusesNewWork", testProviderClose},
+		{"ReliabRetransmitDeliversExactlyOnce", testReliabExactlyOnce},
+		{"ReliabFIFOPreservedAcrossRetransmit", testReliabFIFO},
+		{"ReliabBreakStillSurfaces", testReliabBreak},
 	}
 	for _, tc := range suite {
 		t.Run(tc.name, func(t *testing.T) { tc.fn(t, f(t)) })

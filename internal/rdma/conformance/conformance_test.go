@@ -30,6 +30,10 @@ func TestSimnicConformance(t *testing.T) {
 			A:      network.Provider(0),
 			B:      network.Provider(1),
 			Settle: func() { sim.Run() },
+			Timer: func(d float64, fn func()) func() {
+				ev := sim.After(d, fn)
+				return ev.Cancel
+			},
 		}
 	})
 }

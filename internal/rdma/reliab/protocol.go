@@ -1,0 +1,376 @@
+package reliab
+
+import "encoding/binary"
+
+// Wire format. Every frame a protected queue pair puts on the wire starts
+// with a 16-byte header; the immediate value of the inner send is left
+// untouched (callers above — the RDMC engine — encode the message size in it,
+// so the wrapper carries caller immediates inside the header instead).
+//
+//	byte  0     kind (data / ack / parity)
+//	byte  1     flags (blackhole: test-injected far-end drop)
+//	bytes 2:4   reserved
+//	bytes 4:8   data: sequence number · ack: cumulative ack · parity: last
+//	            sequence number covered by the group
+//	bytes 8:12  data: caller immediate · ack: SACK bitmap low word · parity:
+//	            number of data frames in the group
+//	bytes 12:16 data: payload length · ack: SACK bitmap high word
+//
+// Data sequence numbers start at 1 (0 means "nothing acknowledged yet").
+// Parity frames live outside the data sequence space: a lost parity frame is
+// never retransmitted — recovery falls back to SACK retransmission — which
+// keeps the cumulative ack from ever stalling on repair traffic.
+const (
+	headerSize = 16
+
+	kindData   = 1
+	kindAck    = 2
+	kindParity = 3
+
+	// flagBlackhole marks a frame the test harness wants dropped at the far
+	// end: the wire carries it (bandwidth and ordering behave exactly like a
+	// delivered frame) but the receiver discards it before any protocol
+	// processing, which is indistinguishable from a downstream fabric drop.
+	// This is how loss is injected on genuinely lossless transports (tcpnic,
+	// shmnic) in the conformance suite.
+	flagBlackhole = 0x1
+
+	// fastRetxDupes is how many frames must be selectively acknowledged above
+	// a gap before the gap is retransmitted without waiting for the RTO —
+	// TCP's triple-duplicate-ack heuristic applied to the SACK bitmap.
+	fastRetxDupes = 3
+)
+
+func putHeader(h []byte, kind, flags byte, seq, a, b uint32) {
+	h[0], h[1], h[2], h[3] = kind, flags, 0, 0
+	binary.LittleEndian.PutUint32(h[4:8], seq)
+	binary.LittleEndian.PutUint32(h[8:12], a)
+	binary.LittleEndian.PutUint32(h[12:16], b)
+}
+
+type header struct {
+	kind  byte
+	flags byte
+	seq   uint32
+	a, b  uint32
+}
+
+func parseHeader(h []byte) header {
+	return header{
+		kind:  h[0],
+		flags: h[1],
+		seq:   binary.LittleEndian.Uint32(h[4:8]),
+		a:     binary.LittleEndian.Uint32(h[8:12]),
+		b:     binary.LittleEndian.Uint32(h[12:16]),
+	}
+}
+
+// sendEntry is one data frame in the retransmit buffer: the wrapper-owned
+// frame bytes (header + a private copy of the caller payload, so the caller
+// gets its buffer back at send-completion time while retransmission remains
+// possible — the posted-buffer ownership contract holds for the caller even
+// though delivery may still be pending) plus the bookkeeping that decides
+// when to send it again.
+type sendEntry struct {
+	seq        uint32
+	frame      frameBuf
+	payloadLen int
+	wrID       uint64 // caller's work request ID
+	imm        uint32
+	acked      bool // selectively acknowledged; never retransmit again
+	callerDone bool // caller send completion delivered
+	launched   bool // first inner transmission posted (false while parked)
+	fastRetx   bool // fast retransmit fired since the last ack progress / RTO
+}
+
+// sendWindow is the sender half of the selective-repeat state machine: the
+// retransmit buffer in sequence order plus the cumulative-ack frontier. It is
+// pure bookkeeping — the provider glue owns timers and actual posting.
+type sendWindow struct {
+	nextSeq uint32
+	cumAck  uint32
+	entries []*sendEntry // unacked (or selectively acked) frames, ascending seq
+}
+
+func newSendWindow() *sendWindow { return &sendWindow{nextSeq: 1} }
+
+func (w *sendWindow) assign() uint32 {
+	s := w.nextSeq
+	w.nextSeq++
+	return s
+}
+
+func (w *sendWindow) push(e *sendEntry) { w.entries = append(w.entries, e) }
+
+// onAck folds one SACK frame in: advances the cumulative frontier, marks
+// selectively acknowledged entries, and returns the entries whose gap now has
+// enough acknowledged frames above it to justify fast retransmission.
+func (w *sendWindow) onAck(cum uint32, sack uint64) (fast []*sendEntry, progressed bool) {
+	if cum > w.cumAck {
+		w.cumAck = cum
+		progressed = true
+		keep := w.entries[:0]
+		for _, e := range w.entries {
+			if e.seq > cum {
+				keep = append(keep, e)
+			}
+		}
+		w.entries = keep
+		for _, e := range w.entries {
+			e.fastRetx = false
+		}
+	}
+	for _, e := range w.entries {
+		if !e.acked && e.seq > cum && e.seq <= cum+64 && sack&(1<<(e.seq-cum-1)) != 0 {
+			e.acked = true
+		}
+	}
+	ackedAbove := 0
+	for i := len(w.entries) - 1; i >= 0; i-- {
+		e := w.entries[i]
+		if e.acked {
+			ackedAbove++
+			continue
+		}
+		if e.launched && ackedAbove >= fastRetxDupes && !e.fastRetx {
+			e.fastRetx = true
+			fast = append(fast, e)
+		}
+	}
+	// Collected tail-first; retransmit lowest gap first.
+	for i, j := 0, len(fast)-1; i < j; i, j = i+1, j-1 {
+		fast[i], fast[j] = fast[j], fast[i]
+	}
+	return fast, progressed
+}
+
+// rtoEntry returns the oldest unacknowledged launched frame — the one an
+// expired retransmission timer resends — and opens a new fast-retransmit
+// epoch for every entry.
+func (w *sendWindow) rtoEntry() *sendEntry {
+	var hit *sendEntry
+	for _, e := range w.entries {
+		e.fastRetx = false
+		if hit == nil && !e.acked && e.launched {
+			hit = e
+		}
+	}
+	return hit
+}
+
+// recvFrame is one data frame after the wire: caller immediate, payload
+// length, and a wrapper-owned copy of the payload bytes (nil for
+// metadata-only simulation frames).
+type recvFrame struct {
+	seq        uint32
+	imm        uint32
+	payloadLen int
+	data       []byte
+}
+
+type parityRec struct {
+	count   int
+	payload []byte
+}
+
+// recvWindow is the receiver half: cumulative reassembly with a held-back
+// out-of-order set (restoring the FIFO delivery the caller was promised),
+// duplicate suppression, the SACK bitmap, and single-loss FEC recovery from
+// cached frame contributions.
+type recvWindow struct {
+	cumAck  uint32
+	ooo     map[uint32]*recvFrame
+	fec     bool
+	contrib map[uint32][]byte    // seq → [imm|len|payload] for recent frames
+	parity  map[uint32]parityRec // group-end seq → pending parity
+	keep    uint32               // how far behind cumAck contributions survive
+}
+
+func newRecvWindow(fecGroup int) *recvWindow {
+	w := &recvWindow{ooo: make(map[uint32]*recvFrame)}
+	if fecGroup > 0 {
+		w.fec = true
+		w.contrib = make(map[uint32][]byte)
+		w.parity = make(map[uint32]parityRec)
+		w.keep = uint32(4*fecGroup + 128)
+	}
+	return w
+}
+
+// process folds one arriving data frame in. It returns the frames now
+// deliverable in order, or dup=true for a frame already seen (the caller
+// re-acks so a lost ack cannot strand the sender).
+func (w *recvWindow) process(f *recvFrame) (deliver []*recvFrame, dup bool) {
+	if f.seq <= w.cumAck {
+		return nil, true
+	}
+	if _, ok := w.ooo[f.seq]; ok {
+		return nil, true
+	}
+	if w.fec {
+		w.contrib[f.seq] = contribution(f.imm, f.payloadLen, f.data)
+	}
+	w.ooo[f.seq] = f
+	for {
+		nf, ok := w.ooo[w.cumAck+1]
+		if !ok {
+			break
+		}
+		delete(w.ooo, w.cumAck+1)
+		w.cumAck++
+		deliver = append(deliver, nf)
+	}
+	w.prune()
+	return deliver, false
+}
+
+// sackBits reports which of the 64 sequence numbers above the cumulative
+// frontier are held out of order.
+func (w *recvWindow) sackBits() uint64 {
+	var bits uint64
+	for i := uint32(1); i <= 64; i++ {
+		if _, ok := w.ooo[w.cumAck+i]; ok {
+			bits |= 1 << (i - 1)
+		}
+	}
+	return bits
+}
+
+// addParity registers a parity frame covering the count data frames ending at
+// end. Recovery happens in tryRecover.
+func (w *recvWindow) addParity(end uint32, count int, payload []byte) {
+	if !w.fec || count <= 0 {
+		return
+	}
+	w.parity[end] = parityRec{count: count, payload: payload}
+}
+
+// tryRecover reconstructs at most one missing frame from some pending parity
+// group that has exactly one hole. The caller feeds the result back through
+// process (which may in turn unlock another group), so one call per arrival
+// suffices to drain all recoverable repairs.
+func (w *recvWindow) tryRecover() *recvFrame {
+	if !w.fec {
+		return nil
+	}
+	for end, pr := range w.parity {
+		start := end - uint32(pr.count) + 1
+		var missing uint32
+		holes := 0
+		for s := start; s <= end; s++ {
+			if s > w.cumAck {
+				if _, ok := w.ooo[s]; !ok {
+					missing, holes = s, holes+1
+				}
+			}
+		}
+		if holes == 0 {
+			delete(w.parity, end)
+			continue
+		}
+		if holes > 1 {
+			continue
+		}
+		buf := append([]byte(nil), pr.payload...)
+		complete := true
+		for s := start; s <= end; s++ {
+			if s == missing {
+				continue
+			}
+			c, ok := w.contrib[s]
+			if !ok {
+				complete = false // pruned too far back; retransmission covers it
+				break
+			}
+			buf = xorExtend(buf, c)
+		}
+		if !complete {
+			continue
+		}
+		delete(w.parity, end)
+		if len(buf) < 8 {
+			continue
+		}
+		f := &recvFrame{
+			seq:        missing,
+			imm:        binary.LittleEndian.Uint32(buf[0:4]),
+			payloadLen: int(binary.LittleEndian.Uint32(buf[4:8])),
+		}
+		if f.payloadLen > 0 && len(buf) >= 8+f.payloadLen {
+			f.data = buf[8 : 8+f.payloadLen]
+		}
+		return f
+	}
+	return nil
+}
+
+func (w *recvWindow) prune() {
+	if !w.fec || w.cumAck <= w.keep {
+		return
+	}
+	floor := w.cumAck - w.keep
+	for s := range w.contrib {
+		if s <= floor {
+			delete(w.contrib, s)
+		}
+	}
+	for end, pr := range w.parity {
+		if end <= floor-uint32(pr.count) {
+			delete(w.parity, end)
+		}
+	}
+}
+
+// contribution is a frame's share of its parity group: caller immediate and
+// payload length (so a reconstructed frame is whole even when payload bytes
+// are metadata-only), then the payload bytes when real ones moved.
+func contribution(imm uint32, payloadLen int, data []byte) []byte {
+	c := make([]byte, 8, 8+len(data))
+	binary.LittleEndian.PutUint32(c[0:4], imm)
+	binary.LittleEndian.PutUint32(c[4:8], uint32(payloadLen))
+	return append(c, data...)
+}
+
+// xorExtend XORs src into dst, growing dst if src is longer (parity groups
+// pad every member to the longest frame).
+func xorExtend(dst, src []byte) []byte {
+	for len(dst) < len(src) {
+		dst = append(dst, 0)
+	}
+	for i, b := range src {
+		dst[i] ^= b
+	}
+	return dst
+}
+
+// fecAccum builds systematic XOR parity on the sender: every data frame is
+// folded in, and after k frames (or an idle flush for a short tail) the
+// accumulated parity goes on the wire. simExtra carries the largest
+// metadata-only payload length in the group, so a parity frame's wire size
+// charges the fabric for the padded-block XOR it stands for even when no real
+// bytes back the blocks.
+type fecAccum struct {
+	k        int
+	count    int
+	end      uint32
+	buf      []byte
+	simExtra int
+}
+
+func (a *fecAccum) add(seq, imm uint32, payloadLen int, data []byte) (full bool) {
+	a.buf = xorExtend(a.buf, contribution(imm, payloadLen, data))
+	if data == nil && payloadLen > a.simExtra {
+		a.simExtra = payloadLen
+	}
+	a.count++
+	a.end = seq
+	return a.count >= a.k
+}
+
+// flush returns the pending parity group and resets the accumulator; count is
+// zero when there is nothing to flush.
+func (a *fecAccum) flush() (end uint32, count int, payload []byte, simExtra int) {
+	end, count, payload, simExtra = a.end, a.count, a.buf, a.simExtra
+	a.count, a.end, a.buf, a.simExtra = 0, 0, nil, 0
+	return
+}

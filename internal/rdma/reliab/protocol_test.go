@@ -1,0 +1,195 @@
+package reliab
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := make([]byte, headerSize)
+	putHeader(h, kindData, flagBlackhole, 12345, 0xdeadbeef, 999)
+	got := parseHeader(h)
+	if got.kind != kindData || got.flags != flagBlackhole || got.seq != 12345 || got.a != 0xdeadbeef || got.b != 999 {
+		t.Errorf("parsed %+v", got)
+	}
+}
+
+func entries(w *sendWindow, n int) []*sendEntry {
+	var es []*sendEntry
+	for i := 0; i < n; i++ {
+		e := &sendEntry{seq: w.assign(), launched: true}
+		w.push(e)
+		es = append(es, e)
+	}
+	return es
+}
+
+func TestSendWindowCumulativeAck(t *testing.T) {
+	w := newSendWindow()
+	entries(w, 5)
+	fast, progressed := w.onAck(3, 0)
+	if !progressed || len(fast) != 0 {
+		t.Fatalf("onAck(3) fast=%v progressed=%v", fast, progressed)
+	}
+	if len(w.entries) != 2 || w.entries[0].seq != 4 {
+		t.Fatalf("entries after cum 3: %+v", w.entries)
+	}
+	if _, progressed := w.onAck(3, 0); progressed {
+		t.Error("duplicate cumulative ack reported progress")
+	}
+}
+
+func TestSendWindowFastRetransmit(t *testing.T) {
+	w := newSendWindow()
+	es := entries(w, 6)
+	// Frame 1 lost; 2, 3 sacked: not yet enough duplicate evidence.
+	fast, _ := w.onAck(0, 0b0110)
+	if len(fast) != 0 {
+		t.Fatalf("fast retransmit after 2 sacked: %v", fast)
+	}
+	// Frame 4 sacked too: three above the gap → retransmit frame 1 once.
+	fast, _ = w.onAck(0, 0b1110)
+	if len(fast) != 1 || fast[0] != es[0] {
+		t.Fatalf("fast = %+v, want frame 1", fast)
+	}
+	// Same evidence again: no duplicate fast retransmission.
+	fast, _ = w.onAck(0, 0b1110)
+	if len(fast) != 0 {
+		t.Fatalf("repeated fast retransmit: %v", fast)
+	}
+	// The retransmission lands, the receiver's cumulative point jumps over
+	// the held frames, and the window drains through 4.
+	_, progressed := w.onAck(4, 0)
+	if !progressed || len(w.entries) != 2 || w.entries[0].seq != 5 {
+		t.Fatalf("after cum 4: progressed=%v entries=%+v", progressed, w.entries)
+	}
+}
+
+func TestSendWindowFastRetransmitMultipleGaps(t *testing.T) {
+	w := newSendWindow()
+	entries(w, 8)
+	// Frames 1 and 3 lost, 2,4,5,6,7,8 sacked: both gaps have ≥3 above.
+	fast, _ := w.onAck(0, 0b11111010)
+	if len(fast) != 2 || fast[0].seq != 1 || fast[1].seq != 3 {
+		t.Fatalf("fast = %+v, want frames 1 and 3 in order", fast)
+	}
+}
+
+func TestSendWindowRTOEntry(t *testing.T) {
+	w := newSendWindow()
+	es := entries(w, 3)
+	es[0].acked = true
+	es[1].fastRetx = true
+	e := w.rtoEntry()
+	if e != es[1] {
+		t.Fatalf("rtoEntry = %+v, want oldest unacked (frame 2)", e)
+	}
+	if es[1].fastRetx || es[2].fastRetx {
+		t.Error("RTO did not open a new fast-retransmit epoch")
+	}
+	if w.rtoEntry() != es[1] {
+		t.Error("rtoEntry not stable before ack progress")
+	}
+}
+
+func TestRecvWindowReassemblyAndSack(t *testing.T) {
+	w := newRecvWindow(0)
+	d, dup := w.process(&recvFrame{seq: 2})
+	if dup || len(d) != 0 {
+		t.Fatalf("out-of-order frame: deliver=%v dup=%v", d, dup)
+	}
+	if bits := w.sackBits(); bits != 0b10 {
+		t.Fatalf("sack = %b, want bit for seq 2", bits)
+	}
+	d, dup = w.process(&recvFrame{seq: 1})
+	if dup || len(d) != 2 || d[0].seq != 1 || d[1].seq != 2 {
+		t.Fatalf("fill gap: deliver=%v dup=%v", d, dup)
+	}
+	if w.cumAck != 2 || w.sackBits() != 0 {
+		t.Fatalf("cumAck=%d sack=%b after reassembly", w.cumAck, w.sackBits())
+	}
+	// Both a stale frame and a held duplicate report dup.
+	if _, dup = w.process(&recvFrame{seq: 1}); !dup {
+		t.Error("stale frame not flagged dup")
+	}
+	w.process(&recvFrame{seq: 5})
+	if _, dup = w.process(&recvFrame{seq: 5}); !dup {
+		t.Error("held out-of-order duplicate not flagged dup")
+	}
+}
+
+func TestFECRecoversSingleLoss(t *testing.T) {
+	send := &fecAccum{k: 3}
+	recv := newRecvWindow(3)
+	payloads := [][]byte{[]byte("alpha"), []byte("bravo-longer"), []byte("cc")}
+	var full bool
+	for i, pl := range payloads {
+		full = send.add(uint32(i+1), uint32(100+i), len(pl), pl)
+	}
+	if !full {
+		t.Fatal("accumulator not full after k frames")
+	}
+	end, count, parity, simExtra := send.flush()
+	if end != 3 || count != 3 || simExtra != 0 {
+		t.Fatalf("flush end=%d count=%d simExtra=%d", end, count, simExtra)
+	}
+	// Frames 1 and 3 arrive; 2 is lost; parity repairs it.
+	recv.process(&recvFrame{seq: 1, imm: 100, payloadLen: 5, data: payloads[0]})
+	recv.process(&recvFrame{seq: 3, imm: 102, payloadLen: 2, data: payloads[2]})
+	recv.addParity(end, count, parity)
+	f := recv.tryRecover()
+	if f == nil {
+		t.Fatal("no recovery from single loss")
+	}
+	if f.seq != 2 || f.imm != 101 || f.payloadLen != len(payloads[1]) || !bytes.Equal(f.data, payloads[1]) {
+		t.Fatalf("recovered %+v data=%q", f, f.data)
+	}
+	if recv.tryRecover() != nil {
+		t.Error("second recovery from a consumed parity group")
+	}
+}
+
+func TestFECDoubleLossIsUnrecoverable(t *testing.T) {
+	send := &fecAccum{k: 3}
+	recv := newRecvWindow(3)
+	for i := 0; i < 3; i++ {
+		send.add(uint32(i+1), 0, 4, []byte("data"))
+	}
+	end, count, parity, _ := send.flush()
+	recv.process(&recvFrame{seq: 1, payloadLen: 4, data: []byte("data")})
+	recv.addParity(end, count, parity)
+	if f := recv.tryRecover(); f != nil {
+		t.Fatalf("recovered %+v from a two-hole group", f)
+	}
+	// The second frame arriving later makes the group one-hole: recoverable.
+	recv.process(&recvFrame{seq: 2, payloadLen: 4, data: []byte("data")})
+	if f := recv.tryRecover(); f == nil || f.seq != 3 {
+		t.Fatalf("late recovery = %+v, want frame 3", f)
+	}
+}
+
+func TestFECMetadataOnlyFrames(t *testing.T) {
+	// Simulation-only payloads: contributions are 8 bytes, parity reconstructs
+	// imm and length, and simExtra charges the padded-block wire cost.
+	send := &fecAccum{k: 2}
+	recv := newRecvWindow(2)
+	send.add(1, 11, 1000, nil)
+	send.add(2, 22, 800, nil)
+	end, count, parity, simExtra := send.flush()
+	if simExtra != 1000 || len(parity) != 8 {
+		t.Fatalf("simExtra=%d len(parity)=%d", simExtra, len(parity))
+	}
+	recv.process(&recvFrame{seq: 1, imm: 11, payloadLen: 1000})
+	recv.addParity(end, count, parity)
+	f := recv.tryRecover()
+	if f == nil || f.seq != 2 || f.imm != 22 || f.payloadLen != 800 || f.data != nil {
+		t.Fatalf("recovered %+v", f)
+	}
+}
+
+func TestXorExtend(t *testing.T) {
+	got := xorExtend([]byte{1, 2}, []byte{1, 2, 3, 4})
+	if !bytes.Equal(got, []byte{0, 0, 3, 4}) {
+		t.Errorf("xorExtend = %v", got)
+	}
+}

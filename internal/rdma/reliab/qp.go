@@ -1,0 +1,483 @@
+package reliab
+
+import "rdmc/internal/rdma"
+
+// callerRecv is a receive the caller posted, waiting for the next in-order
+// reassembled frame.
+type callerRecv struct {
+	buf  rdma.Buffer
+	wrID uint64
+}
+
+// queuePair is one protected endpoint: the caller-facing rdma.QueuePair plus
+// the sender and receiver halves of the selective-repeat protocol over the
+// inner pair. All state is guarded by the provider's lock; inner posts happen
+// outside it (see post).
+type queuePair struct {
+	p     *Provider
+	inner rdma.QueuePair
+	peer  rdma.NodeID
+	token uint64
+
+	send     *sendWindow
+	parked   []*sendEntry // built and sequenced, waiting for window space
+	recv     *recvWindow
+	arrivals []*recvFrame // reassembled in-order frames with no posted receive
+	recvQ    []callerRecv
+	fec      *fecAccum
+
+	rto       float64
+	rtoCancel func()
+	fecCancel func()
+
+	sendRefs map[uint64]*sendEntry // inner send wrID → entry (nil for ack/parity/retransmit)
+	recvRefs map[uint64][]byte     // inner recv wrID → pool buffer
+	broken   bool
+}
+
+var _ rdma.QueuePair = (*queuePair)(nil)
+
+// Peer implements rdma.QueuePair.
+func (q *queuePair) Peer() rdma.NodeID { return q.peer }
+
+// Token implements rdma.QueuePair.
+func (q *queuePair) Token() uint64 { return q.token }
+
+// Close implements rdma.QueuePair.
+func (q *queuePair) Close() error {
+	q.p.mu.Lock()
+	q.breakLocked()
+	q.p.mu.Unlock()
+	q.p.dispatch()
+	return q.inner.Close()
+}
+
+func (q *queuePair) postCheckLocked() error {
+	if q.broken {
+		return rdma.ErrBroken
+	}
+	if q.p.closed {
+		return rdma.ErrClosed
+	}
+	if q.p.handler == nil && q.p.batch == nil {
+		return rdma.ErrNoHandler
+	}
+	return nil
+}
+
+// PostSend implements rdma.QueuePair. The payload is copied into a wrapper-
+// owned frame immediately — that copy is the retransmit buffer — so the
+// caller's buffer obeys the standard ownership contract: lent until the send
+// completion, free afterwards, even if the frame is still being repaired on
+// the wire.
+func (q *queuePair) PostSend(buf rdma.Buffer, imm uint32, wrID uint64) error {
+	q.p.mu.Lock()
+	if err := q.postCheckLocked(); err != nil {
+		q.p.mu.Unlock()
+		return err
+	}
+	seq := q.send.assign()
+	e := &sendEntry{seq: seq, payloadLen: buf.Len, wrID: wrID, imm: imm}
+	if buf.Data != nil {
+		data := make([]byte, headerSize+buf.Len)
+		putHeader(data, kindData, 0, seq, imm, uint32(buf.Len))
+		copy(data[headerSize:], buf.Data[:buf.Len])
+		e.frame = frameBuf{data: data, wireLen: len(data)}
+	} else {
+		hdr := make([]byte, headerSize)
+		putHeader(hdr, kindData, 0, seq, imm, uint32(buf.Len))
+		e.frame = frameBuf{data: hdr, wireLen: headerSize + buf.Len}
+	}
+	q.p.stats.DataFrames++
+	q.p.stats.DataBytes += uint64(e.frame.wireLen)
+	var posts []post
+	if len(q.send.entries)+len(q.parked) >= q.p.cfg.Window || len(q.parked) > 0 {
+		q.parked = append(q.parked, e)
+	} else {
+		q.launchLocked(e, &posts)
+	}
+	if q.fec != nil {
+		q.fecAddLocked(e, &posts)
+	}
+	q.armRTOLocked()
+	q.p.mu.Unlock()
+	runPosts(posts)
+	return nil
+}
+
+// PostRecv implements rdma.QueuePair: it matches the oldest reassembled
+// in-order frame, or queues until one arrives.
+func (q *queuePair) PostRecv(buf rdma.Buffer, wrID uint64) error {
+	q.p.mu.Lock()
+	if err := q.postCheckLocked(); err != nil {
+		q.p.mu.Unlock()
+		return err
+	}
+	if len(q.arrivals) > 0 {
+		f := q.arrivals[0]
+		if f.data != nil && buf.Data != nil && len(buf.Data) < len(f.data) {
+			q.breakLocked()
+			q.p.mu.Unlock()
+			q.p.dispatch()
+			return rdma.ErrBufferTooSmall
+		}
+		q.arrivals = q.arrivals[1:]
+		q.completeRecvLocked(callerRecv{buf: buf, wrID: wrID}, f)
+		q.p.mu.Unlock()
+		q.p.dispatch()
+		return nil
+	}
+	q.recvQ = append(q.recvQ, callerRecv{buf: buf, wrID: wrID})
+	q.p.mu.Unlock()
+	return nil
+}
+
+// PostWrite implements rdma.QueuePair. One-sided writes pass through
+// unprotected — RDMC uses them only for receiver-ready signalling, which
+// rides the reliable bootstrap path — so their completions keep the caller's
+// wrID and are forwarded verbatim.
+func (q *queuePair) PostWrite(region rdma.RegionID, offset int, data []byte, wrID uint64) error {
+	q.p.mu.Lock()
+	err := q.postCheckLocked()
+	q.p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return q.inner.PostWrite(region, offset, data, wrID)
+}
+
+// launchLocked puts a sequenced entry on the wire for the first time.
+func (q *queuePair) launchLocked(e *sendEntry, posts *[]post) {
+	e.launched = true
+	q.send.push(e)
+	*posts = append(*posts, post{qp: q, send: q.injectLocked(e, false), wrID: q.newSendRefLocked(e)})
+}
+
+// retransmitLocked re-sends one frame.
+func (q *queuePair) retransmitLocked(e *sendEntry, posts *[]post) {
+	q.p.stats.Retransmits++
+	q.p.stats.RetransmitBytes += uint64(e.frame.wireLen)
+	*posts = append(*posts, post{qp: q, send: q.injectLocked(e, true), wrID: q.newSendRefLocked(nil)})
+}
+
+// injectLocked returns the wire buffer for one transmission of e, consulting
+// the test DropFn per copy: the stored frame stays clean, and a doomed copy
+// is a clone with the blackhole flag set so the flip cannot race an
+// outstanding inner send of the shared bytes.
+func (q *queuePair) injectLocked(e *sendEntry, retransmit bool) rdma.Buffer {
+	fb := e.frame
+	if q.p.cfg.DropFn != nil && q.p.cfg.DropFn(e.seq, retransmit) {
+		data := append([]byte(nil), fb.data...)
+		data[1] |= flagBlackhole
+		fb = frameBuf{data: data, wireLen: fb.wireLen}
+		q.p.stats.InjectedDrops++
+	}
+	return fb.buffer()
+}
+
+func (q *queuePair) newSendRefLocked(e *sendEntry) uint64 {
+	q.p.wrSeq++
+	q.sendRefs[q.p.wrSeq] = e
+	return q.p.wrSeq
+}
+
+func (q *queuePair) newRecvRefLocked(buf []byte) uint64 {
+	q.p.wrSeq++
+	q.recvRefs[q.p.wrSeq] = buf
+	return q.p.wrSeq
+}
+
+// fecAddLocked folds a data frame into the parity accumulator, emitting the
+// group's parity frame when full and arming the idle flush for tails.
+func (q *queuePair) fecAddLocked(e *sendEntry, posts *[]post) {
+	if q.fec.add(e.seq, e.imm, e.payloadLen, frameBody(e.frame)) {
+		q.flushParityLocked(posts)
+		return
+	}
+	if q.fecCancel == nil {
+		q.fecCancel = q.p.cfg.Timer(q.p.cfg.FECFlush, q.fecFlushFired)
+	}
+}
+
+func frameBody(f frameBuf) []byte {
+	if len(f.data) > headerSize {
+		return f.data[headerSize:]
+	}
+	return nil
+}
+
+func (q *queuePair) flushParityLocked(posts *[]post) {
+	if q.fecCancel != nil {
+		q.fecCancel()
+		q.fecCancel = nil
+	}
+	end, count, payload, simExtra := q.fec.flush()
+	if count == 0 {
+		return
+	}
+	data := make([]byte, headerSize+len(payload))
+	putHeader(data, kindParity, 0, end, uint32(count), uint32(len(payload)))
+	copy(data[headerSize:], payload)
+	fb := frameBuf{data: data, wireLen: len(data) + simExtra}
+	q.p.stats.ParityFrames++
+	q.p.stats.ParityBytes += uint64(fb.wireLen)
+	*posts = append(*posts, post{qp: q, send: fb.buffer(), wrID: q.newSendRefLocked(nil)})
+}
+
+func (q *queuePair) fecFlushFired() {
+	var posts []post
+	q.p.mu.Lock()
+	q.fecCancel = nil
+	if !q.broken {
+		q.flushParityLocked(&posts)
+	}
+	q.p.mu.Unlock()
+	runPosts(posts)
+}
+
+// armRTOLocked (re)arms the retransmission timer when unacknowledged frames
+// exist; jitter desynchronizes flows sharing a loss event.
+func (q *queuePair) armRTOLocked() {
+	if q.rtoCancel != nil || len(q.send.entries) == 0 || q.broken {
+		return
+	}
+	d := q.rto * (1 + 0.1*q.p.rng.Float64())
+	q.rtoCancel = q.p.cfg.Timer(d, q.rtoFired)
+}
+
+func (q *queuePair) rtoFired() {
+	var posts []post
+	q.p.mu.Lock()
+	q.rtoCancel = nil
+	if !q.broken {
+		if e := q.send.rtoEntry(); e != nil {
+			q.retransmitLocked(e, &posts)
+		}
+		q.rto *= 2
+		if q.rto > q.p.cfg.MaxRTO {
+			q.rto = q.p.cfg.MaxRTO
+		}
+		q.armRTOLocked()
+	}
+	q.p.mu.Unlock()
+	runPosts(posts)
+}
+
+// onInnerLocked consumes one inner completion for this pair.
+func (q *queuePair) onInnerLocked(c rdma.Completion, posts *[]post) {
+	if q.broken {
+		return
+	}
+	switch c.Op {
+	case rdma.OpSend:
+		e := q.sendRefs[c.WRID]
+		delete(q.sendRefs, c.WRID)
+		if c.Status != rdma.StatusOK {
+			q.breakLocked()
+			return
+		}
+		if e != nil && !e.callerDone {
+			e.callerDone = true
+			q.p.queue = append(q.p.queue, rdma.Completion{
+				Op:     rdma.OpSend,
+				Status: rdma.StatusOK,
+				Peer:   q.peer,
+				Token:  q.token,
+				WRID:   e.wrID,
+				Bytes:  e.payloadLen,
+			})
+		}
+	case rdma.OpRecv:
+		buf := q.recvRefs[c.WRID]
+		delete(q.recvRefs, c.WRID)
+		if c.Status != rdma.StatusOK {
+			q.breakLocked()
+			return
+		}
+		q.onFrameLocked(c, posts)
+		if buf != nil {
+			*posts = append(*posts, post{qp: q, recvBuf: buf, wrID: q.newRecvRefLocked(buf)})
+		}
+	}
+}
+
+// onFrameLocked parses and processes one arriving wire frame.
+func (q *queuePair) onFrameLocked(c rdma.Completion, posts *[]post) {
+	if c.Bytes < headerSize || len(c.Data) < headerSize {
+		q.breakLocked()
+		return
+	}
+	h := parseHeader(c.Data)
+	switch h.kind {
+	case kindData:
+		if h.flags&flagBlackhole != 0 {
+			return // test-injected far-end drop: as if the fabric ate it
+		}
+		f := &recvFrame{seq: h.seq, imm: h.a, payloadLen: c.Bytes - headerSize}
+		if len(c.Data) > headerSize {
+			f.data = append([]byte(nil), c.Data[headerSize:]...)
+		}
+		q.onDataLocked(f)
+		q.ackLocked(posts)
+	case kindAck:
+		q.p.stats.AcksReceived++
+		q.onAckLocked(h.seq, uint64(h.a)|uint64(h.b)<<32, posts)
+	case kindParity:
+		payload := append([]byte(nil), c.Data[headerSize:]...)
+		q.recv.addParity(h.seq, int(h.a), payload)
+		if q.recoverLocked() {
+			q.ackLocked(posts)
+		}
+	default:
+		q.breakLocked()
+	}
+}
+
+func (q *queuePair) onDataLocked(f *recvFrame) {
+	deliver, dup := q.recv.process(f)
+	if dup {
+		q.p.stats.DupFrames++
+		return
+	}
+	for _, d := range deliver {
+		q.deliverLocked(d)
+	}
+	// A new arrival can turn a two-hole parity group into a one-hole one.
+	q.recoverLocked()
+}
+
+// recoverLocked drains every FEC repair the receive window can make,
+// feeding each reconstructed frame back through reassembly (which may in
+// turn complete another group). Reports whether anything was recovered.
+func (q *queuePair) recoverLocked() bool {
+	recovered := false
+	for f := q.recv.tryRecover(); f != nil; f = q.recv.tryRecover() {
+		q.p.stats.Recovered++
+		recovered = true
+		deliver, _ := q.recv.process(f)
+		for _, d := range deliver {
+			q.deliverLocked(d)
+		}
+	}
+	return recovered
+}
+
+// deliverLocked hands one in-order frame to the caller: matched against the
+// oldest posted receive, or held until one is posted.
+func (q *queuePair) deliverLocked(f *recvFrame) {
+	if len(q.recvQ) == 0 {
+		q.arrivals = append(q.arrivals, f)
+		return
+	}
+	wr := q.recvQ[0]
+	q.recvQ = q.recvQ[1:]
+	q.completeRecvLocked(wr, f)
+}
+
+func (q *queuePair) completeRecvLocked(wr callerRecv, f *recvFrame) {
+	c := rdma.Completion{
+		Op:     rdma.OpRecv,
+		Status: rdma.StatusOK,
+		Peer:   q.peer,
+		Token:  q.token,
+		WRID:   wr.wrID,
+		Imm:    f.imm,
+		Bytes:  f.payloadLen,
+	}
+	if f.data != nil && wr.buf.Data != nil {
+		if len(wr.buf.Data) < len(f.data) {
+			q.breakLocked()
+			return
+		}
+		copy(wr.buf.Data, f.data)
+		c.Data = wr.buf.Data[:len(f.data)]
+	}
+	q.p.queue = append(q.p.queue, c)
+}
+
+// ackLocked emits the receiver's current cumulative + SACK state. Every data
+// arrival (including duplicates) is acknowledged, so a lost ack can never
+// strand the sender.
+func (q *queuePair) ackLocked(posts *[]post) {
+	hdr := make([]byte, headerSize)
+	bits := q.recv.sackBits()
+	putHeader(hdr, kindAck, 0, q.recv.cumAck, uint32(bits), uint32(bits>>32))
+	q.p.stats.AcksSent++
+	*posts = append(*posts, post{qp: q, send: frameBuf{data: hdr, wireLen: headerSize}.buffer(), wrID: q.newSendRefLocked(nil)})
+}
+
+// onAckLocked folds a SACK frame into the send window: fast retransmissions,
+// RTO reset on progress, and unparking queued sends into freed window space.
+func (q *queuePair) onAckLocked(cum uint32, sack uint64, posts *[]post) {
+	fast, progressed := q.send.onAck(cum, sack)
+	for _, e := range fast {
+		q.retransmitLocked(e, posts)
+	}
+	if progressed {
+		q.rto = q.p.cfg.RTO
+		if q.rtoCancel != nil {
+			q.rtoCancel()
+			q.rtoCancel = nil
+		}
+		for len(q.parked) > 0 && len(q.send.entries) < q.p.cfg.Window {
+			e := q.parked[0]
+			q.parked = q.parked[1:]
+			q.launchLocked(e, posts)
+		}
+		q.armRTOLocked()
+	}
+}
+
+// breakNow is breakLocked plus its own locking and dispatch, for call sites
+// outside the provider lock (failed inner posts).
+func (q *queuePair) breakNow() {
+	q.p.mu.Lock()
+	q.breakLocked()
+	q.p.mu.Unlock()
+	q.p.dispatch()
+}
+
+// breakLocked fails the pair: every caller send not yet completed and every
+// posted receive surfaces StatusBroken, in post order, matching the raw
+// providers' break semantics. Reliability covers frame loss, not endpoint
+// failure.
+func (q *queuePair) breakLocked() {
+	if q.broken {
+		return
+	}
+	q.broken = true
+	if q.rtoCancel != nil {
+		q.rtoCancel()
+		q.rtoCancel = nil
+	}
+	if q.fecCancel != nil {
+		q.fecCancel()
+		q.fecCancel = nil
+	}
+	fail := func(op rdma.OpType, wrID uint64) {
+		q.p.queue = append(q.p.queue, rdma.Completion{
+			Op:     op,
+			Status: rdma.StatusBroken,
+			Peer:   q.peer,
+			Token:  q.token,
+			WRID:   wrID,
+		})
+	}
+	for _, e := range q.send.entries {
+		if !e.callerDone {
+			e.callerDone = true
+			fail(rdma.OpSend, e.wrID)
+		}
+	}
+	for _, e := range q.parked {
+		if !e.callerDone {
+			e.callerDone = true
+			fail(rdma.OpSend, e.wrID)
+		}
+	}
+	q.send.entries, q.parked = nil, nil
+	for _, wr := range q.recvQ {
+		fail(rdma.OpRecv, wr.wrID)
+	}
+	q.recvQ = nil
+}

@@ -34,6 +34,7 @@ type Network struct {
 	rendezvous *nicbase.Rendezvous[*queuePair]
 	providers  map[rdma.NodeID]*Provider
 	qpWindow   int
+	tolerant   bool
 }
 
 // NewNetwork wraps a simulated cluster.
@@ -55,6 +56,21 @@ func (n *Network) SetQPWindow(w int) {
 	}
 	n.qpWindow = w
 }
+
+// SetTolerant flips queue pairs created after the call into loss-tolerant
+// delivery, the UD-like wire a selective-retransmit layer (rdma/reliab)
+// builds on instead of the RC default:
+//
+//   - a frame dropped by a lossy fabric path (simnet.OutcomeLost) silently
+//     vanishes — the local send still completes StatusOK when its bytes
+//     leave the NIC, the receiver just never sees it — instead of breaking
+//     the connection as RC retry exhaustion would;
+//   - arrivals are delivered at actual arrival time, so a reordering fabric
+//     is observable, while local send completions keep post order.
+//
+// Severed paths and torn-down peers still surface StatusBroken: tolerance
+// covers frame loss, not endpoint failure.
+func (n *Network) SetTolerant(on bool) { n.tolerant = on }
 
 // Cluster returns the underlying simulated cluster.
 func (n *Network) Cluster() *simnet.Cluster { return n.cluster }
@@ -103,7 +119,7 @@ func (p *Provider) Connect(peer rdma.NodeID, token uint64) (rdma.QueuePair, erro
 	if int(peer) < 0 || int(peer) >= p.net.cluster.Config().Nodes {
 		return nil, fmt.Errorf("simnic: peer %d outside cluster of %d nodes", peer, p.net.cluster.Config().Nodes)
 	}
-	qp := &queuePair{local: p, peer: peer, token: token, window: p.net.qpWindow}
+	qp := &queuePair{local: p, peer: peer, token: token, window: p.net.qpWindow, tolerant: p.net.tolerant}
 	if err := p.AddQP(nicbase.QPKey{Peer: peer, Token: token}, qp); err != nil {
 		return nil, err
 	}
@@ -162,6 +178,10 @@ type arrival struct {
 type sendEntry struct {
 	wr   sendWR
 	done bool
+	// lost marks a tolerant-mode frame the fabric dropped: the local send
+	// completes normally (the bytes left the NIC) but no arrival is
+	// delivered.
+	lost bool
 }
 
 // queuePair is one simulated RC endpoint. Up to window work requests execute
@@ -173,6 +193,7 @@ type queuePair struct {
 	peer     rdma.NodeID
 	token    uint64
 	window   int
+	tolerant bool
 	remote   *queuePair
 	pending  []sendWR     // posted, not yet launched
 	flight   []*sendEntry // launched, in post order (reorder buffer)
@@ -279,6 +300,41 @@ func (q *queuePair) transmit(e *sendEntry) {
 	}
 	src := simnet.NodeID(q.local.NodeID())
 	dst := simnet.NodeID(q.peer)
+	if q.tolerant {
+		// Loss-tolerant wire: a dropped frame vanishes instead of breaking
+		// the pair, and arrivals land at actual arrival time so a reordering
+		// fabric is observable. Local send completions still drain in post
+		// order — the NIC reports its own work FIFO either way.
+		q.local.net.cluster.TransferFrame(src, dst, float64(e.wr.buf.Len), func(o simnet.Outcome) {
+			if q.broken {
+				return
+			}
+			if o == simnet.OutcomeBroken {
+				q.breakBoth()
+				return
+			}
+			e.done = true
+			switch {
+			case o == simnet.OutcomeLost:
+				e.lost = true
+			case q.remote == nil || q.remote.broken:
+				// A frame into a torn-down peer vanishes; drainFlight
+				// surfaces the breakage when this entry reaches the head.
+				e.lost = true
+			default:
+				q.remote.onArrival(arrival{
+					bytes:  e.wr.buf.Len,
+					imm:    e.wr.imm,
+					data:   e.wr.buf.Data,
+					write:  e.wr.write,
+					region: e.wr.region,
+					offset: e.wr.offset,
+				}, e.wr.data)
+			}
+			q.drainFlight()
+		})
+		return
+	}
 	q.local.net.cluster.Transfer(src, dst, float64(e.wr.buf.Len), func(broken bool) {
 		if q.broken {
 			return
@@ -319,6 +375,11 @@ func (q *queuePair) drainFlight() {
 			WRID:   wr.wrID,
 			Bytes:  wr.buf.Len,
 		})
+		if q.tolerant {
+			// The arrival (if the fabric delivered it) already landed at
+			// flow-completion time; lost frames produce no arrival at all.
+			continue
+		}
 		q.remote.onArrival(arrival{
 			bytes:  wr.buf.Len,
 			imm:    wr.imm,

@@ -344,6 +344,158 @@ func TestOffloadSkipsCPUCosts(t *testing.T) {
 	}
 }
 
+// newWANNet builds a 2-node, 2-region lossy network with the given fabric
+// profile and returns connected providers with recording handlers.
+func newWANNet(t *testing.T, fabric *simnet.FabricProfile, tolerant bool) (*simnet.Sim, *Network, []*Provider, []*[]rdma.Completion) {
+	t.Helper()
+	sim := simnet.NewSim(1)
+	cluster, err := simnet.NewCluster(sim, simnet.ClusterConfig{
+		Nodes:         2,
+		LinkBandwidth: 100,
+		Latency:       0.001,
+		CPU:           simnet.CPUConfig{Mode: simnet.ModePolling},
+		RetryTimeout:  0.01,
+		Fabric:        fabric,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(cluster)
+	net.SetTolerant(tolerant)
+	providers := make([]*Provider, 2)
+	logs := make([]*[]rdma.Completion, 2)
+	for i := range providers {
+		providers[i] = net.Provider(rdma.NodeID(i))
+		log := &[]rdma.Completion{}
+		logs[i] = log
+		providers[i].SetHandler(func(c rdma.Completion) { *log = append(*log, c) })
+	}
+	return sim, net, providers, logs
+}
+
+func wanProfile() *simnet.FabricProfile {
+	return &simnet.FabricProfile{
+		Seed:    11,
+		Regions: []int{0, 1},
+		RTT:     [][]float64{{0.001, 0.020}, {0.020, 0.001}},
+	}
+}
+
+func TestTolerantLossVanishesWithoutBreaking(t *testing.T) {
+	f := wanProfile()
+	f.LossRate = 0.999999 // every frame drops; the pair must survive anyway
+	sim, _, ps, logs := newWANNet(t, f, true)
+	qa, qb := connect(t, ps[0], ps[1], 1)
+	if err := qb.PostRecv(rdma.SizeBuffer(10), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSend(rdma.SizeBuffer(10), 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	sends := *logs[0]
+	if len(sends) != 1 || sends[0].Status != rdma.StatusOK || sends[0].WRID != 2 {
+		t.Fatalf("sender completions = %+v, want one StatusOK send (bytes left the NIC)", sends)
+	}
+	if len(*logs[1]) != 0 {
+		t.Fatalf("receiver saw %+v for a dropped frame", *logs[1])
+	}
+	// The pair is alive: tolerance turns loss into silence, not ErrBroken.
+	if err := qa.PostSend(rdma.SizeBuffer(10), 6, 3); err != nil {
+		t.Errorf("post after loss: err = %v, want nil", err)
+	}
+}
+
+func TestTolerantBreakStillSurfaces(t *testing.T) {
+	sim, net, ps, logs := newWANNet(t, wanProfile(), true)
+	qa, qb := connect(t, ps[0], ps[1], 1)
+	if err := qb.PostRecv(rdma.SizeBuffer(1000), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSend(rdma.SizeBuffer(1000), 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	sim.At(0.5, func() { net.Cluster().BreakLink(0, 1) })
+	sim.Run()
+	var senderBroken bool
+	for _, c := range *logs[0] {
+		if c.Status == rdma.StatusBroken {
+			senderBroken = true
+		}
+	}
+	if !senderBroken {
+		t.Errorf("tolerant QP hid a severed path: %+v", *logs[0])
+	}
+}
+
+func TestTolerantDeliversOutOfOrder(t *testing.T) {
+	f := wanProfile()
+	f.ReorderRate = 0.5
+	f.ReorderSpan = 2.0
+	sim, _, ps, logs := newWANNet(t, f, true)
+	qa, qb := connect(t, ps[0], ps[1], 1)
+	for i := uint64(0); i < 16; i++ {
+		if err := qb.PostRecv(rdma.SizeBuffer(10), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 16; i++ {
+		if err := qa.PostSend(rdma.SizeBuffer(10), uint32(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Run()
+	recvs := *logs[1]
+	if len(recvs) != 16 {
+		t.Fatalf("recv count = %d, want 16", len(recvs))
+	}
+	flipped := false
+	for i := 1; i < len(recvs); i++ {
+		if recvs[i].Imm < recvs[i-1].Imm {
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Error("reordering fabric delivered in post order through a tolerant QP")
+	}
+	// Local send completions still drain FIFO regardless of wire order.
+	sends := *logs[0]
+	for i := 1; i < len(sends); i++ {
+		if sends[i].WRID < sends[i-1].WRID {
+			t.Fatalf("send completions out of post order: %+v", sends)
+		}
+	}
+}
+
+func TestBreakModeQPUnchangedByFabricProfile(t *testing.T) {
+	// A non-tolerant QP over a lossy fabric inherits RC semantics: the first
+	// dropped frame is retry exhaustion and breaks the pair.
+	f := wanProfile()
+	f.LossRate = 0.999999
+	sim, _, ps, logs := newWANNet(t, f, false)
+	qa, qb := connect(t, ps[0], ps[1], 1)
+	if err := qb.PostRecv(rdma.SizeBuffer(10), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.PostSend(rdma.SizeBuffer(10), 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	var senderBroken bool
+	for _, c := range *logs[0] {
+		if c.Status == rdma.StatusBroken {
+			senderBroken = true
+		}
+	}
+	if !senderBroken {
+		t.Errorf("break-mode QP survived a dropped frame: %+v", *logs[0])
+	}
+	if err := qa.PostSend(rdma.SizeBuffer(1), 0, 3); err != rdma.ErrBroken {
+		t.Errorf("post after loss on break-mode QP: err = %v, want ErrBroken", err)
+	}
+}
+
 func TestSelfConnection(t *testing.T) {
 	sim, _, ps, logs := newNet(t, 2)
 	q1, err := ps[0].Connect(0, 42)

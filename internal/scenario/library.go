@@ -265,9 +265,46 @@ func AdaptiveCrossTraffic() Config {
 	}
 }
 
+// WANLossy is the planetary-scale workload: a 6-node group spanning three
+// regions with real inter-region RTTs and 0.2% per-frame loss on the
+// long-haul paths, replayed through the selective-retransmit layer with XOR
+// parity. The datacenter engine is untouched — the fabric stanza is what
+// turns the lossless Fractus model into a WAN, and the reliability layer is
+// what keeps a lossy replay from breaking queue pairs.
+func WANLossy() Config {
+	return Config{
+		Name:    "wan-lossy",
+		Seed:    19,
+		Nodes:   6,
+		Writes:  12,
+		Arrival: Arrival{Kind: ArrivalClosed, Concurrency: 2},
+		Sizes:   SizeConfig{Kind: SizeFixed, Bytes: 4 * mib},
+		Groups:  GroupConfig{Kind: GroupRoster, Members: Roster(6)},
+		Replay: Replay{
+			Cluster:    "fractus",
+			BlockBytes: 64 * kib,
+			Algorithms: []string{"binomial pipeline"},
+			SendWindow: 8,
+			RecvWindow: 8,
+			Fabric: &Fabric{
+				Regions: []int{0, 0, 1, 1, 2, 2},
+				RTTMs: [][]float64{
+					{0.2, 30, 80},
+					{30, 0.2, 50},
+					{80, 50, 0.2},
+				},
+				LossRate: 0.002,
+				Reliab:   true,
+				FECGroup: 8,
+				RTOMs:    200,
+			},
+		},
+	}
+}
+
 // LibraryNames lists the shipped scenario configs in presentation order.
 func LibraryNames() []string {
-	return []string{"cosmos", "fig8", "smc", "failover-crash-root", "mixed-tenants", "mixed-tenants-qos", "churn", "adaptive-crosstraffic"}
+	return []string{"cosmos", "fig8", "smc", "failover-crash-root", "mixed-tenants", "mixed-tenants-qos", "churn", "adaptive-crosstraffic", "wan-lossy"}
 }
 
 // Library returns the shipped scenario configs by name — the set the
@@ -289,5 +326,6 @@ func Library() map[string]Config {
 		"mixed-tenants-qos":     MixedTenantsQoS(),
 		"churn":                 Churn(),
 		"adaptive-crosstraffic": AdaptiveCrossTraffic(),
+		"wan-lossy":             WANLossy(),
 	}
 }

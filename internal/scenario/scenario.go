@@ -179,6 +179,42 @@ type CrossFlow struct {
 	StopSec  float64 `json:"stop_sec"`
 }
 
+// Fabric overlays a lossy WAN path model on the replay cluster: a
+// per-region RTT matrix replacing the model's uniform latency, seeded
+// per-frame loss on cross-region paths, and bounded reordering (the replay
+// builds a simnet.FabricProfile from it). Any loss or reordering requires
+// Reliab — the bare engine rides break-on-loss queue pairs, so the first
+// drop would fail the group. Replay-only: the compiled stream is
+// byte-identical with or without a fabric stanza.
+type Fabric struct {
+	// Seed fixes the loss and reorder draws; zero derives it from the
+	// scenario seed.
+	Seed int64 `json:"seed,omitempty"`
+	// Regions assigns node i to region Regions[i]; empty places every node
+	// in region 0. When present it must cover all Nodes.
+	Regions []int `json:"regions,omitempty"`
+	// RTTMs is the square region-by-region round-trip matrix in
+	// milliseconds; the diagonal holds the intra-region RTT. Empty keeps the
+	// cluster model's uniform latency.
+	RTTMs [][]float64 `json:"rtt_ms,omitempty"`
+	// LossRate is the per-frame drop probability on cross-region paths,
+	// in [0,1).
+	LossRate float64 `json:"loss_rate,omitempty"`
+	// ReorderRate is the probability a frame is held back long enough for
+	// later frames to overtake it, in [0,1).
+	ReorderRate float64 `json:"reorder_rate,omitempty"`
+	// Reliab wraps every node's NIC in the selective-retransmit
+	// reliability layer, absorbing loss and reordering as retransmissions.
+	Reliab bool `json:"reliab,omitempty"`
+	// FECGroup, when positive, adds one XOR parity frame per FECGroup data
+	// frames so single losses repair without a retransmission. Requires
+	// Reliab.
+	FECGroup int `json:"fec_group,omitempty"`
+	// RTOMs is the reliability layer's initial retransmission timeout in
+	// milliseconds; zero keeps the layer default. Requires Reliab.
+	RTOMs float64 `json:"rto_ms,omitempty"`
+}
+
 // Replay tells the bench CLI how to run the scenario: which cluster model,
 // block size, schedule algorithms, and windows. It shapes the replay, not
 // the compiled stream.
@@ -203,6 +239,9 @@ type Replay struct {
 	// Zero replays unthrottled. Replay-only: the compiled stream is
 	// identical either way.
 	ThrottleBytes int `json:"throttle_bytes,omitempty"`
+	// Fabric, when non-nil, overlays the lossy WAN path model on the
+	// cluster; nil replays on the model's lossless datacenter fabric.
+	Fabric *Fabric `json:"fabric,omitempty"`
 }
 
 // Config is one complete scenario. The zero-value subfields select the
@@ -264,6 +303,9 @@ func (c Config) Validate() error {
 	if c.Replay.ThrottleBytes < 0 {
 		return fmt.Errorf("scenario %s: throttle_bytes must be non-negative, got %d", c.Name, c.Replay.ThrottleBytes)
 	}
+	if err := c.validateFabric(); err != nil {
+		return err
+	}
 	for _, t := range c.Tenants {
 		if t.Name == "" {
 			return fmt.Errorf("scenario %s: tenant missing name", c.Name)
@@ -321,6 +363,67 @@ func (c Config) Validate() error {
 		if ct.StopSec <= ct.StartSec {
 			return fmt.Errorf("scenario %s: cross flow %d needs stop_sec > start_sec to terminate", c.Name, i)
 		}
+	}
+	return nil
+}
+
+// validateFabric checks the replay's WAN overlay: rates in range, a
+// region assignment that covers every node, a square non-negative RTT
+// matrix covering every assigned region, and the reliability layer wherever
+// the fabric can actually drop or reorder a frame — a lossy replay without
+// it would break queue pairs, not test loss tolerance.
+func (c Config) validateFabric() error {
+	f := c.Replay.Fabric
+	if f == nil {
+		return nil
+	}
+	if f.LossRate < 0 || f.LossRate >= 1 {
+		return fmt.Errorf("scenario %s: fabric loss_rate %g outside [0,1)", c.Name, f.LossRate)
+	}
+	if f.ReorderRate < 0 || f.ReorderRate >= 1 {
+		return fmt.Errorf("scenario %s: fabric reorder_rate %g outside [0,1)", c.Name, f.ReorderRate)
+	}
+	if len(f.Regions) > 0 && len(f.Regions) != c.Nodes {
+		return fmt.Errorf("scenario %s: fabric regions assigns %d of %d nodes", c.Name, len(f.Regions), c.Nodes)
+	}
+	maxRegion := 0
+	for i, r := range f.Regions {
+		if r < 0 {
+			return fmt.Errorf("scenario %s: fabric node %d has negative region %d", c.Name, i, r)
+		}
+		if r > maxRegion {
+			maxRegion = r
+		}
+	}
+	if len(f.RTTMs) > 0 {
+		if len(f.RTTMs) <= maxRegion {
+			return fmt.Errorf("scenario %s: fabric rtt_ms covers %d regions, nodes use %d", c.Name, len(f.RTTMs), maxRegion+1)
+		}
+		for a, row := range f.RTTMs {
+			if len(row) != len(f.RTTMs) {
+				return fmt.Errorf("scenario %s: fabric rtt_ms row %d has %d cells, want %d", c.Name, a, len(row), len(f.RTTMs))
+			}
+			for b, rtt := range row {
+				if rtt < 0 {
+					return fmt.Errorf("scenario %s: fabric rtt_ms[%d][%d] is negative", c.Name, a, b)
+				}
+			}
+		}
+	}
+	if (f.LossRate > 0 || f.ReorderRate > 0) && !f.Reliab {
+		return fmt.Errorf("scenario %s: fabric drops or reorders frames, which breaks bare queue pairs — set reliab: true", c.Name)
+	}
+	if f.FECGroup < 0 {
+		return fmt.Errorf("scenario %s: fabric fec_group must be non-negative, got %d", c.Name, f.FECGroup)
+	}
+	if f.FECGroup > 0 && !f.Reliab {
+		return fmt.Errorf("scenario %s: fabric fec_group needs the reliability layer — set reliab: true", c.Name)
+	}
+	if f.RTOMs < 0 {
+		return fmt.Errorf("scenario %s: fabric rto_ms must be non-negative, got %g", c.Name, f.RTOMs)
+	}
+	if f.RTOMs > 0 && !f.Reliab {
+		return fmt.Errorf("scenario %s: fabric rto_ms configures the reliability layer — set reliab: true", c.Name)
 	}
 	return nil
 }

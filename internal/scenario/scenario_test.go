@@ -160,6 +160,48 @@ func TestValidateRejects(t *testing.T) {
 		{"cross-traffic stop before start", func(c *Config) {
 			c.CrossTraffic = []CrossFlow{{From: 0, To: 1, StartSec: 2, StopSec: 1}}
 		}},
+		{"fabric loss rate out of range", func(c *Config) {
+			c.Replay.Fabric = &Fabric{LossRate: 1, Reliab: true}
+		}},
+		{"fabric negative reorder rate", func(c *Config) {
+			c.Replay.Fabric = &Fabric{ReorderRate: -0.1, Reliab: true}
+		}},
+		{"fabric regions miss nodes", func(c *Config) {
+			c.Replay.Fabric = &Fabric{Regions: []int{0, 1}}
+		}},
+		{"fabric negative region", func(c *Config) {
+			c.Replay.Fabric = &Fabric{Regions: make([]int, c.Nodes)}
+			c.Replay.Fabric.Regions[3] = -1
+		}},
+		{"fabric rtt matrix not square", func(c *Config) {
+			c.Replay.Fabric = &Fabric{RTTMs: [][]float64{{1, 2}, {1}}}
+		}},
+		{"fabric rtt matrix misses region", func(c *Config) {
+			regions := make([]int, c.Nodes)
+			regions[0] = 2
+			c.Replay.Fabric = &Fabric{Regions: regions, RTTMs: [][]float64{{1, 2}, {2, 1}}}
+		}},
+		{"fabric negative rtt", func(c *Config) {
+			c.Replay.Fabric = &Fabric{RTTMs: [][]float64{{-1}}}
+		}},
+		{"fabric loss without reliab", func(c *Config) {
+			c.Replay.Fabric = &Fabric{LossRate: 0.01}
+		}},
+		{"fabric reorder without reliab", func(c *Config) {
+			c.Replay.Fabric = &Fabric{ReorderRate: 0.01}
+		}},
+		{"fabric fec without reliab", func(c *Config) {
+			c.Replay.Fabric = &Fabric{FECGroup: 8}
+		}},
+		{"fabric negative fec group", func(c *Config) {
+			c.Replay.Fabric = &Fabric{FECGroup: -1, Reliab: true}
+		}},
+		{"fabric rto without reliab", func(c *Config) {
+			c.Replay.Fabric = &Fabric{RTOMs: 100}
+		}},
+		{"fabric negative rto", func(c *Config) {
+			c.Replay.Fabric = &Fabric{RTOMs: -1, Reliab: true}
+		}},
 	} {
 		cfg := base()
 		tc.mutate(&cfg)

@@ -12,6 +12,7 @@ import (
 	"rdmc/internal/core"
 	"rdmc/internal/obs"
 	"rdmc/internal/rdma"
+	"rdmc/internal/rdma/reliab"
 	"rdmc/internal/rdma/simnic"
 	"rdmc/internal/schedule"
 	"rdmc/internal/simnet"
@@ -35,6 +36,14 @@ type Config struct {
 	// structured event carries its node id, so one ring holds the whole
 	// grid's timeline (exactly what the Chrome-trace exporter wants).
 	Observer *obs.Obs
+	// Reliab, when non-nil, wraps every node's NIC in the selective-
+	// retransmit reliability layer (internal/rdma/reliab) and switches the
+	// simulated NICs into loss-tolerant mode, so a lossy FabricProfile
+	// (Cluster.Fabric) costs retransmissions instead of broken queue pairs.
+	// The config's Timer is replaced with the grid's virtual clock; a zero
+	// MaxPayload defaults to 4 KiB (simulation frames carry metadata, not
+	// payload bytes); a zero Seed derives per-node seeds from the grid seed.
+	Reliab *reliab.Config
 }
 
 // Grid is a simulated deployment of engines sharing one virtual clock.
@@ -43,6 +52,7 @@ type Grid struct {
 	cluster  *simnet.Cluster
 	network  *simnic.Network
 	engines  []*core.Engine
+	reliabs  []*reliab.Provider
 	handlers []func(from rdma.NodeID, m core.CtrlMsg)
 }
 
@@ -62,15 +72,38 @@ func New(cfg Config) (*Grid, error) {
 		network:  simnic.NewNetwork(cluster),
 		handlers: make([]func(rdma.NodeID, core.CtrlMsg), cfg.Cluster.Nodes),
 	}
+	if cfg.Reliab != nil {
+		g.network.SetTolerant(true)
+	}
 	for i := 0; i < cfg.Cluster.Nodes; i++ {
 		id := rdma.NodeID(i)
 		provider := g.network.Provider(id)
 		provider.SetOffload(cfg.Offload)
-		ctrl := &gridControl{grid: g, local: id}
-		host := &gridHost{grid: g, local: id, copyBW: cfg.CopyBandwidth}
-		engine := core.NewEngine(provider, ctrl, host)
 		if cfg.Observer != nil {
 			provider.SetObserver(cfg.Observer)
+		}
+		var nic rdma.Provider = provider
+		if cfg.Reliab != nil {
+			rcfg := *cfg.Reliab
+			rcfg.Timer = func(d float64, fn func()) func() {
+				ev := sim.After(d, fn)
+				return ev.Cancel
+			}
+			if rcfg.MaxPayload == 0 {
+				rcfg.MaxPayload = 4 << 10
+			}
+			if rcfg.Seed == 0 {
+				rcfg.Seed = cfg.Seed * 1000
+			}
+			rcfg.Seed += int64(i) // desynchronize per-node RTO jitter
+			rp := reliab.Wrap(provider, rcfg)
+			g.reliabs = append(g.reliabs, rp)
+			nic = rp
+		}
+		ctrl := &gridControl{grid: g, local: id}
+		host := &gridHost{grid: g, local: id, copyBW: cfg.CopyBandwidth}
+		engine := core.NewEngine(nic, ctrl, host)
+		if cfg.Observer != nil {
 			engine.SetObserver(cfg.Observer)
 		}
 		engine.SetContentionSampler(g)
@@ -91,6 +124,16 @@ func (g *Grid) Network() *simnic.Network { return g.network }
 
 // Engine returns node i's protocol engine.
 func (g *Grid) Engine(i int) *core.Engine { return g.engines[i] }
+
+// ReliabStats sums the reliability layer's counters across every node; the
+// zero value when the deployment runs without Config.Reliab.
+func (g *Grid) ReliabStats() reliab.Stats {
+	var total reliab.Stats
+	for _, p := range g.reliabs {
+		total.Add(p.Stats())
+	}
+	return total
+}
 
 // Nodes returns the deployment size.
 func (g *Grid) Nodes() int { return len(g.engines) }

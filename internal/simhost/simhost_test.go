@@ -6,6 +6,7 @@ import (
 
 	"rdmc/internal/core"
 	"rdmc/internal/rdma"
+	"rdmc/internal/rdma/reliab"
 	"rdmc/internal/simnet"
 )
 
@@ -111,5 +112,74 @@ func TestGridFailNodeNotifiesEngines(t *testing.T) {
 func TestGridRejectsBadCluster(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Error("zero config accepted")
+	}
+}
+
+// TestGridReliabDeliversOverLossyWAN is the end-to-end seam test for the
+// loss-tolerant stack: a 3-region lossy fabric under a Reliab-wrapped grid
+// must deliver a full multicast (where the bare grid would break), with the
+// loss showing up as retransmissions in ReliabStats.
+func TestGridReliabDeliversOverLossyWAN(t *testing.T) {
+	cfg := Config{
+		Cluster: simnet.ClusterConfig{
+			Nodes:         6,
+			LinkBandwidth: 1.25e9,
+			Latency:       5e-6,
+			CPU:           simnet.DefaultCPUConfig(),
+			RetryTimeout:  0.05,
+			Fabric: &simnet.FabricProfile{
+				Seed:    7,
+				Regions: []int{0, 0, 1, 1, 2, 2},
+				RTT: [][]float64{
+					{0.0002, 0.030, 0.080},
+					{0.030, 0.0002, 0.050},
+					{0.080, 0.050, 0.0002},
+				},
+				LossRate: 0.02,
+			},
+		},
+		Seed:   1,
+		Reliab: &reliab.Config{RTO: 0.15},
+	}
+	grid, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []rdma.NodeID{0, 1, 2, 3, 4, 5}
+	var delivered, failures int
+	var root *core.Group
+	for i := 0; i < 6; i++ {
+		g, err := grid.Engine(i).CreateGroup(1, members, core.GroupConfig{
+			BlockSize:  64 << 10,
+			SendWindow: 1,
+			RecvWindow: 1,
+			Callbacks: core.Callbacks{
+				Completion: func(int, []byte, int) { delivered++ },
+				Failure:    func(error) { failures++ },
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Rank() == 0 {
+			root = g
+		}
+	}
+	if err := root.SendSized(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	grid.Run()
+	if failures != 0 {
+		t.Fatalf("%d engines failed: loss should be absorbed by the reliability layer", failures)
+	}
+	if delivered != 6 {
+		t.Fatalf("delivered = %d of 6", delivered)
+	}
+	st := grid.ReliabStats()
+	if st.Retransmits == 0 {
+		t.Error("2% loss on a WAN produced no retransmissions")
+	}
+	if st.DataFrames == 0 || st.AcksReceived == 0 {
+		t.Errorf("stats look unwired: %+v", st)
 	}
 }

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"fmt"
+	"math/rand"
 )
 
 // NodeID identifies a host within a simulated cluster.
@@ -32,6 +33,12 @@ type ClusterConfig struct {
 	// broken link surfaces a connection-break completion, modelling NIC
 	// retry exhaustion.
 	RetryTimeout float64
+	// Fabric, when non-nil, overlays the lossy WAN path model: a per-region
+	// RTT matrix replacing the single Latency, seeded per-frame loss, and
+	// bounded reordering (see FabricProfile in wan.go). Nil keeps the
+	// lossless datacenter fabric, byte-identical to configurations that
+	// predate the overlay.
+	Fabric *FabricProfile
 }
 
 // Validate reports a descriptive error for an unusable configuration.
@@ -48,6 +55,9 @@ func (c ClusterConfig) Validate() error {
 	case c.RackSize > 0 && c.TrunkBandwidth <= 0:
 		return fmt.Errorf("simnet: two-tier topology needs a positive trunk bandwidth")
 	}
+	if c.Fabric != nil {
+		return c.Fabric.Validate(c.Nodes)
+	}
 	return nil
 }
 
@@ -61,6 +71,12 @@ type Cluster struct {
 	slow     map[[2]NodeID]*Resource
 	broken   map[[2]NodeID]bool
 	inFlight map[*Flow]transferState
+
+	// lossRng feeds the fabric profile's loss and reorder draws. It is
+	// seeded independently of the simulation's source and untouched when no
+	// profile (or no loss) is configured, so the WAN overlay cannot perturb
+	// profile-free runs.
+	lossRng *rand.Rand
 }
 
 type node struct {
@@ -75,7 +91,7 @@ type node struct {
 
 type transferState struct {
 	src, dst NodeID
-	onDone   func(broken bool)
+	onDone   func(Outcome)
 }
 
 // NewCluster builds a cluster over the given simulation engine.
@@ -86,6 +102,10 @@ func NewCluster(sim *Sim, cfg ClusterConfig) (*Cluster, error) {
 	if cfg.RetryTimeout == 0 {
 		cfg.RetryTimeout = 1e-3
 	}
+	lossSeed := int64(1)
+	if cfg.Fabric != nil && cfg.Fabric.Seed != 0 {
+		lossSeed = cfg.Fabric.Seed
+	}
 	c := &Cluster{
 		sim:      sim,
 		fabric:   NewFabric(sim),
@@ -93,6 +113,7 @@ func NewCluster(sim *Sim, cfg ClusterConfig) (*Cluster, error) {
 		slow:     make(map[[2]NodeID]*Resource),
 		broken:   make(map[[2]NodeID]bool),
 		inFlight: make(map[*Flow]transferState),
+		lossRng:  rand.New(rand.NewSource(lossSeed)),
 	}
 	var uplinks, downlinks []*Resource
 	if cfg.RackSize > 0 {
@@ -185,7 +206,7 @@ func (c *Cluster) breakMatching(match func(transferState) bool) {
 		c.fabric.Cancel(fl)
 		delete(c.inFlight, fl)
 		done := st.onDone
-		c.sim.After(c.cfg.RetryTimeout, func() { done(true) })
+		c.sim.After(c.cfg.RetryTimeout, func() { done(OutcomeBroken) })
 	}
 }
 
@@ -193,41 +214,31 @@ func (c *Cluster) pairBroken(src, dst NodeID) bool {
 	return c.broken[[2]NodeID{src, dst}] || c.nodes[src].down || c.nodes[dst].down
 }
 
-// Transfer moves size bytes from src to dst. onDone fires at arrival time
-// with broken=false, or after the retry timeout with broken=true if the path
-// failed. Self-transfers complete after the control latency without
-// consuming fabric capacity.
+// Transfer moves size bytes from src to dst with break semantics: onDone
+// fires at arrival time with broken=false, or after the retry timeout with
+// broken=true if the path failed. On a lossy fabric a dropped frame also
+// surfaces broken=true — the NIC's retries cannot recover on a fabric
+// modelled without them, which is exactly RDMC's inherited RC behavior when
+// the lossless assumption is violated. Loss-tolerant transports use
+// TransferFrame (wan.go) instead, which distinguishes one lost frame from a
+// severed connection. Self-transfers complete after the control latency
+// without consuming fabric capacity.
 func (c *Cluster) Transfer(src, dst NodeID, size float64, onDone func(broken bool)) {
-	if c.pairBroken(src, dst) {
-		c.sim.After(c.cfg.RetryTimeout, func() { onDone(true) })
-		return
-	}
-	if src == dst {
-		c.sim.After(c.cfg.Latency, func() { onDone(false) })
-		return
-	}
-	path := c.path(src, dst)
-	c.sim.After(c.cfg.Latency, func() {
-		if c.pairBroken(src, dst) {
-			c.sim.After(c.cfg.RetryTimeout, func() { onDone(true) })
-			return
-		}
-		var fl *Flow
-		fl = c.fabric.StartFlow(size, path, func() {
-			delete(c.inFlight, fl)
-			onDone(false)
-		})
-		c.inFlight[fl] = transferState{src: src, dst: dst, onDone: onDone}
-	})
+	c.frame(src, dst, size, false, func(o Outcome) { onDone(o == OutcomeBroken) })
 }
 
 // Ctrl delivers a small control message (latency only, no bandwidth cost).
-// Broken paths silently drop it, as a lost datagram would be.
+// Frames on broken paths are silently dropped — the path swallows every
+// datagram until it heals — and on a lossy fabric each datagram is dropped
+// independently with the profile's CtrlLossRate (default 0: control traffic
+// rides the reliable bootstrap mesh, not the lossy bulk path). Both drops
+// route through the same frameFate decision point as bulk transfers, so
+// "broken" and "lossy" are the same two states everywhere in the cluster.
 func (c *Cluster) Ctrl(src, dst NodeID, onDeliver func()) {
-	if c.pairBroken(src, dst) {
+	if c.frameFate(src, dst, c.ctrlLoss(src, dst)) != OutcomeDelivered {
 		return
 	}
-	c.sim.After(c.cfg.Latency, onDeliver)
+	c.sim.After(c.pathLatency(src, dst), onDeliver)
 }
 
 // Racks returns the number of TOR trunks (zero under full bisection).

@@ -1,0 +1,272 @@
+package simnet
+
+import (
+	"testing"
+)
+
+// wanConfig is a 4-node, 2-region WAN overlay: nodes {0,1} in region 0,
+// {2,3} in region 1, 1 ms intra-region RTT, 100 ms cross-region RTT.
+func wanConfig(loss float64) ClusterConfig {
+	cfg := testConfig(4)
+	cfg.Fabric = &FabricProfile{
+		Seed:     7,
+		Regions:  []int{0, 0, 1, 1},
+		RTT:      [][]float64{{0.001, 0.100}, {0.100, 0.001}},
+		LossRate: loss,
+	}
+	return cfg
+}
+
+func TestFabricProfileValidate(t *testing.T) {
+	bad := []ClusterConfig{}
+	add := func(mutate func(*FabricProfile)) {
+		cfg := wanConfig(0)
+		mutate(cfg.Fabric)
+		bad = append(bad, cfg)
+	}
+	add(func(f *FabricProfile) { f.Regions = []int{0, 0, 1} })       // wrong length
+	add(func(f *FabricProfile) { f.Regions = []int{0, 0, 1, -1} })   // negative region
+	add(func(f *FabricProfile) { f.Regions = []int{0, 0, 1, 2} })    // region outside matrix
+	add(func(f *FabricProfile) { f.RTT = [][]float64{{0.001}} })     // matrix smaller than regions
+	add(func(f *FabricProfile) { f.RTT = [][]float64{{1, 1}, {1}} }) // ragged row
+	add(func(f *FabricProfile) { f.RTT[0][1] = -1 })                 // negative RTT
+	add(func(f *FabricProfile) { f.LossRate = 1.0 })                 // certain loss is a broken link, not a lossy one
+	add(func(f *FabricProfile) { f.ReorderRate = -0.1 })             //
+	add(func(f *FabricProfile) { f.CtrlLossRate = 2 })               //
+	add(func(f *FabricProfile) { f.ReorderSpan = -1 })               //
+	for i, cfg := range bad {
+		if _, err := NewCluster(NewSim(1), cfg); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+	if _, err := NewCluster(NewSim(1), wanConfig(0.5)); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
+func TestFabricRTTMatrixReplacesGlobalLatency(t *testing.T) {
+	s := NewSim(1)
+	c, err := NewCluster(s, wanConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intra, cross float64 = -1, -1
+	c.Ctrl(0, 1, func() { intra = s.Now() })
+	c.Ctrl(0, 2, func() { cross = s.Now() })
+	s.Run()
+	approx(t, intra, 0.0005, 1e-9, "intra-region ctrl (RTT/2)")
+	approx(t, cross, 0.050, 1e-9, "cross-region ctrl (RTT/2)")
+
+	// Bulk transfers charge the same per-path propagation before the flow.
+	var done float64 = -1
+	c.TransferFrame(0, 2, 100, func(o Outcome) {
+		if o != OutcomeDelivered {
+			t.Errorf("loss-free transfer outcome %v", o)
+		}
+		done = s.Now()
+	})
+	s.Run()
+	approx(t, done-0.050, 0.050+1.0, 1e-9, "cross-region transfer (RTT/2 + size/bw)")
+}
+
+func TestBrokenAndLossyAreDistinctStates(t *testing.T) {
+	s := NewSim(1)
+	cfg := wanConfig(0) // lossless profile: isolate the broken path
+	c, err := NewCluster(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.BreakLink(0, 2)
+
+	// Broken path: the frame surfaces OutcomeBroken after the retry timeout
+	// and the control datagram is silently dropped.
+	var got Outcome = -1
+	var at float64
+	c.TransferFrame(0, 2, 100, func(o Outcome) { got, at = o, s.Now() })
+	delivered := false
+	c.Ctrl(0, 2, func() { delivered = true })
+	s.Run()
+	if got != OutcomeBroken {
+		t.Errorf("broken path outcome %v, want broken", got)
+	}
+	approx(t, at, c.Config().RetryTimeout, 1e-9, "retry timeout surfaces breakage")
+	if delivered {
+		t.Error("ctrl datagram crossed a broken path")
+	}
+
+	// Lossy path: a certain-loss link (via a loss rate just under 1) drops
+	// the frame but reports OutcomeLost at bandwidth time — the connection
+	// is alive — and control datagrams still cross (CtrlLossRate 0).
+	s2 := NewSim(1)
+	cfg2 := wanConfig(0.999999)
+	c2, err := NewCluster(s2, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = -1
+	c2.TransferFrame(0, 2, 100, func(o Outcome) { got, at = o, s2.Now() })
+	delivered = false
+	c2.Ctrl(0, 2, func() { delivered = true })
+	s2.Run()
+	if got != OutcomeLost {
+		t.Errorf("lossy path outcome %v, want lost", got)
+	}
+	approx(t, at, 0.050+1.0, 1e-6, "loss reported when the last byte would have landed")
+	if !delivered {
+		t.Error("ctrl datagram dropped although only the bulk path is lossy")
+	}
+}
+
+func TestBreakModeTransferMapsLossToBreakage(t *testing.T) {
+	s := NewSim(1)
+	cfg := wanConfig(0.999999)
+	c, err := NewCluster(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := false
+	var at float64
+	c.Transfer(0, 2, 100, func(b bool) { broken, at = b, s.Now() })
+	s.Run()
+	if !broken {
+		t.Fatal("break-semantics transfer survived a dropped frame")
+	}
+	approx(t, at, c.Config().RetryTimeout, 1e-9, "retry exhaustion after the retry timeout")
+}
+
+func TestCtrlLossRateDropsDatagrams(t *testing.T) {
+	s := NewSim(1)
+	cfg := wanConfig(0)
+	cfg.Fabric.CtrlLossRate = 0.999999
+	c, err := NewCluster(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := false
+	c.Ctrl(0, 2, func() { delivered = true })
+	s.Run()
+	if delivered {
+		t.Error("ctrl datagram survived a certain-loss control channel")
+	}
+}
+
+func TestLossDrawsAreSeededDeterministic(t *testing.T) {
+	outcomes := func(seed int64) []Outcome {
+		s := NewSim(1)
+		cfg := wanConfig(0.3)
+		cfg.Fabric.Seed = seed
+		c, err := NewCluster(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Outcome
+		for i := 0; i < 40; i++ {
+			c.TransferFrame(0, 2, 10, func(o Outcome) { got = append(got, o) })
+		}
+		s.Run()
+		return got
+	}
+	a, b := outcomes(7), outcomes(7)
+	lost := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at frame %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] == OutcomeLost {
+			lost++
+		}
+	}
+	if lost == 0 || lost == len(a) {
+		t.Errorf("30%% loss produced %d/%d lost frames", lost, len(a))
+	}
+	diff := false
+	for i, o := range outcomes(8) {
+		if o != a[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical loss patterns")
+	}
+}
+
+func TestLossOffMakesNoRandomDraws(t *testing.T) {
+	// The determinism contract behind "existing configs stay byte-identical":
+	// a profile with loss and reorder disabled must consume nothing from the
+	// loss source, so its presence cannot shift any draw sequence.
+	s := NewSim(1)
+	cfg := wanConfig(0)
+	c, err := NewCluster(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.lossRng.Int63()
+	c2, err := NewCluster(NewSim(1), wanConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		c2.TransferFrame(0, 2, 10, func(Outcome) {})
+		c2.Ctrl(0, 2, func() {})
+	}
+	c2.Sim().Run()
+	if got := c2.lossRng.Int63(); got != before {
+		t.Errorf("loss-free traffic consumed random draws: next draw %d, want %d", got, before)
+	}
+}
+
+func TestReorderDeliversOutOfOrder(t *testing.T) {
+	s := NewSim(1)
+	cfg := wanConfig(0)
+	cfg.Fabric.ReorderRate = 0.5
+	cfg.Fabric.ReorderSpan = 2.5
+	c, err := NewCluster(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal-size frames posted back to back complete their flows in post
+	// order; only the reorder overlay can flip arrival order. With a wide
+	// span and 50% rate, some adjacent pair must flip.
+	var order []int
+	for i := 0; i < 16; i++ {
+		i := i
+		c.TransferFrame(0, 2, 1, func(o Outcome) {
+			if o != OutcomeDelivered {
+				t.Errorf("frame %d outcome %v", i, o)
+			}
+			order = append(order, i)
+		})
+	}
+	s.Run()
+	if len(order) != 16 {
+		t.Fatalf("delivered %d of 16 frames", len(order))
+	}
+	flipped := false
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Errorf("no reordering observed across %v", order)
+	}
+}
+
+func TestMidFlowBreakSurfacesBrokenNotResult(t *testing.T) {
+	s := NewSim(1)
+	c, err := NewCluster(s, wanConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Outcome = -1
+	c.TransferFrame(0, 2, 100, func(o Outcome) { got = o })
+	// The flow starts after 50 ms propagation and needs 1 s of bandwidth;
+	// sever the link in the middle of the flow.
+	s.After(0.5, func() { c.BreakLink(0, 2) })
+	s.Run()
+	if got != OutcomeBroken {
+		t.Errorf("mid-flow break surfaced %v, want broken", got)
+	}
+}
